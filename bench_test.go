@@ -1,0 +1,300 @@
+// Package djstar's root benchmark suite: one testing.B benchmark per
+// table and figure of the paper's evaluation (see EXPERIMENTS.md for the
+// mapping and djbench for the full-length reproduction with reports).
+//
+// Each benchmark measures the natural unit behind its artifact — an APC
+// cycle under a given strategy/thread count for Table I and Figs. 8–11,
+// a schedule simulation for Fig. 4/12 — so `go test -bench=. -benchmem`
+// doubles as a regression harness for the hot paths (ns/op and 0 B/op).
+package djstar
+
+import (
+	"fmt"
+	"testing"
+
+	"djstar/internal/engine"
+	"djstar/internal/exp"
+	"djstar/internal/graph"
+	"djstar/internal/rescon"
+	"djstar/internal/sched"
+	"djstar/internal/stats"
+)
+
+// benchScale is the node-cost scale for benchmark engines. A small
+// non-zero scale keeps the paper's cost *shape* (bimodal FX, long chains)
+// while letting b.N iterations finish quickly on any host.
+const benchScale = 0.1
+
+func benchGraphConfig() graph.Config {
+	cfg := graph.DefaultConfig()
+	cfg.TrackBars = 4
+	cfg.Scale = benchScale
+	cfg.Calibration = exp.Calib()
+	return cfg
+}
+
+func newBenchEngine(b *testing.B, strategy string, threads int) *engine.Engine {
+	b.Helper()
+	e, err := engine.New(engine.Config{
+		Graph:    benchGraphConfig(),
+		Strategy: strategy,
+		Threads:  threads,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	for i := 0; i < 20; i++ {
+		e.Cycle(nil) // warm up delay lines, page in buffers
+	}
+	return e
+}
+
+// BenchmarkTable1 measures one APC cycle per iteration for every cell of
+// Table I: the three parallel strategies across 1..4 threads, plus the
+// sequential baseline the speedups are computed against.
+func BenchmarkTable1(b *testing.B) {
+	b.Run("seq/threads=1", func(b *testing.B) {
+		e := newBenchEngine(b, sched.NameSequential, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Cycle(nil)
+		}
+	})
+	for _, strategy := range []string{sched.NameBusyWait, sched.NameSleep, sched.NameWorkSteal} {
+		for threads := 1; threads <= 4; threads++ {
+			b.Run(fmt.Sprintf("%s/threads=%d", strategy, threads), func(b *testing.B) {
+				e := newBenchEngine(b, strategy, threads)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Cycle(nil)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4 measures the §IV schedule computations: the earliest-start
+// relaxation and the 4-processor list schedule over the standard graph.
+func BenchmarkFig4(b *testing.B) {
+	cfg := benchGraphConfig()
+	durs, plan, err := engine.MeasureNodeDurations(cfg, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := rescon.FromPlan(plan, durs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("earliest-start", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := m.EarliestStart()
+			if r.MakespanUS <= 0 {
+				b.Fatal("zero makespan")
+			}
+		}
+	})
+	b.Run("list-schedule-4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ListSchedule(4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig8 measures the speedup-relevant configurations of Fig. 8
+// head to head: graph execution only (no TP/GP/VC), sequential vs the
+// three strategies at 4 threads.
+func BenchmarkFig8(b *testing.B) {
+	for _, strategy := range sched.Strategies {
+		threads := 4
+		if strategy == sched.NameSequential {
+			threads = 1
+		}
+		b.Run(fmt.Sprintf("graph-only/%s", strategy), func(b *testing.B) {
+			session, g, err := graph.BuildDJStar(benchGraphConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err := g.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := sched.New(strategy, plan, threads)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			session.Prepare()
+			s.Execute()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				session.Prepare()
+				s.Execute()
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Fig10 measures the per-cycle cost of the histogram
+// collection path behind Figs. 9/10 (cycle + sample + bin).
+func BenchmarkFig9Fig10(b *testing.B) {
+	e := newBenchEngine(b, sched.NameBusyWait, 4)
+	h := stats.MustHistogram(0, 10, 30)
+	m := e.RunCycles(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cycle(m)
+		h.Add(m.Graph.Mean())
+	}
+}
+
+// BenchmarkFig11 measures a fully traced cycle (the schedule-realization
+// capture behind Fig. 11).
+func BenchmarkFig11(b *testing.B) {
+	for _, strategy := range []string{sched.NameBusyWait, sched.NameSleep, sched.NameWorkSteal} {
+		b.Run(strategy, func(b *testing.B) {
+			e := newBenchEngine(b, strategy, 4)
+			tr := sched.NewTracer(e.Plan().Len())
+			e.Scheduler().SetTracer(tr)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Cycle(nil)
+				if tr.Makespan() <= 0 {
+					b.Fatal("empty trace")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12 measures the BUSY/SLEEP strategy simulations of Fig. 12.
+func BenchmarkFig12(b *testing.B) {
+	cfg := benchGraphConfig()
+	durs, plan, err := engine.MeasureNodeDurations(cfg, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := rescon.FromPlan(plan, durs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ov := rescon.StrategyOverheads{CheckUS: 0.5, WakeUS: 10}
+	b.Run("simulate-busy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.SimulateBusy(4, ov); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("simulate-sleep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.SimulateSleep(4, ov); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDeadlines measures the full APC (TP+GP+Graph+VC) with deadline
+// accounting — the unit behind the §VI miss-rate experiment.
+func BenchmarkDeadlines(b *testing.B) {
+	e := newBenchEngine(b, sched.NameBusyWait, 4)
+	m := e.RunCycles(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cycle(m)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(m.Deadline.Missed()), "misses")
+}
+
+// BenchmarkProfile measures the sequential APC used for the §III-B/§VI
+// component breakdown.
+func BenchmarkProfile(b *testing.B) {
+	e := newBenchEngine(b, sched.NameSequential, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cycle(nil)
+	}
+}
+
+// BenchmarkThreadSweep extends Table I beyond four threads (the paper's
+// "more threads do not help" observation).
+func BenchmarkThreadSweep(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 6, 8} {
+		b.Run(fmt.Sprintf("busy/threads=%d", threads), func(b *testing.B) {
+			e := newBenchEngine(b, sched.NameBusyWait, threads)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Cycle(nil)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWS measures the work-stealing design variants (§V-C):
+// locality vs round-robin seeding, Chase-Lev vs locked deques.
+func BenchmarkAblationWS(b *testing.B) {
+	variants := map[string]sched.WSOptions{
+		"locality-lockfree": {},
+		"roundrobin-init":   {RoundRobinInit: true},
+		"locked-deque":      {LockedDeque: true},
+	}
+	for name, opts := range variants {
+		b.Run(name, func(b *testing.B) {
+			session, g, err := graph.BuildDJStar(benchGraphConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err := g.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ws, err := sched.NewWorkStealOpts(plan, 4, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ws.Close()
+			session.Prepare()
+			ws.Execute()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				session.Prepare()
+				ws.Execute()
+			}
+		})
+	}
+}
+
+// BenchmarkSubstrates measures the main DSP substrates per packet, the
+// raw kernels the graph nodes are built from.
+func BenchmarkSubstrates(b *testing.B) {
+	b.Run("graph-compile", func(b *testing.B) {
+		cfg := benchGraphConfig()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, g, err := graph.BuildDJStar(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := g.Compile(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+// Command djanalyze is the track-preparation tool: it analyzes audio
+// (tempo, key, beat grid) and prints a library report with waveform
+// overviews — the offline "Track Preprocessing" path of the paper's
+// Fig. 2 architecture. Without arguments it analyzes the built-in
+// four-deck test set; given WAV files it imports and analyzes those.
+//
+// Usage:
+//
+//	djanalyze                       # analyze the synthetic deck tracks
+//	djanalyze set.wav other.wav     # analyze 16-bit stereo 44.1 kHz WAVs
+//	djanalyze -bars 32 -waveform    # longer tracks, draw waveforms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"djstar/internal/audio"
+	"djstar/internal/library"
+	"djstar/internal/stats"
+	"djstar/internal/synth"
+)
+
+func main() {
+	var (
+		bars     = flag.Int("bars", 16, "bars per built-in synthetic track")
+		waveform = flag.Bool("waveform", false, "render waveform overviews")
+		match    = flag.Float64("match", 0, "list tracks within this BPM percentage of the first track")
+	)
+	flag.Parse()
+
+	lib := library.New(audio.SampleRate)
+
+	if flag.NArg() == 0 {
+		for _, tr := range synth.StandardDeckTracks(*bars) {
+			if _, err := lib.Add(tr); err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+			_, err = lib.ImportWAV(f, name)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	var rows [][]string
+	for _, name := range lib.Names() {
+		e := lib.Get(name)
+		a := e.Analysis
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.1f", a.BPM),
+			fmt.Sprintf("%.2f", a.BPMConfidence),
+			a.KeyName,
+			fmt.Sprintf("%.1fs", a.DurationSeconds),
+			fmt.Sprintf("%d", len(a.BeatGrid)),
+		})
+	}
+	fmt.Print(stats.RenderTable(
+		[]string{"track", "bpm", "conf", "key", "length", "beats"}, rows))
+
+	if *waveform {
+		for _, name := range lib.Names() {
+			fmt.Printf("\n%s\n", name)
+			fmt.Print(lib.Get(name).Analysis.Overview.Render(3))
+		}
+	}
+
+	if *match > 0 && lib.Len() > 1 {
+		first := lib.Get(lib.Names()[0])
+		fmt.Printf("\ntracks within %.0f%% of %s (%.1f BPM):\n",
+			*match, first.Track.Name, first.Analysis.BPM)
+		for _, e := range lib.CompatibleBPM(first.Analysis.BPM, *match) {
+			if e != first {
+				fmt.Printf("  %-10s %.1f BPM\n", e.Track.Name, e.Analysis.BPM)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "djanalyze: %v\n", err)
+	os.Exit(1)
+}

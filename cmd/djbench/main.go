@@ -1,0 +1,136 @@
+// Command djbench regenerates every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md for the mapping).
+//
+// Usage:
+//
+//	djbench -experiment all                    # everything, paper settings
+//	djbench -experiment table1 -cycles 10000   # Table I
+//	djbench -experiment fig9 -quick            # fast smoke run
+//
+// Experiments: table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines,
+// profile, threadsweep, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"djstar/internal/exp"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run (table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines, profile, threadsweep, ablation, staticvsonline, designspace, nodecosts, all)")
+		cycles     = flag.Int("cycles", 10000, "APC iterations per measurement (paper: 10000)")
+		scale      = flag.Float64("scale", 1.0, "node cost scale (1.0 = paper scale, 0 = pure DSP)")
+		threads    = flag.Int("threads", 4, "maximum thread count (paper: 4)")
+		quick      = flag.Bool("quick", false, "fast smoke settings (300 cycles, scale 0.05)")
+		csvDir     = flag.String("csv", "", "also write table1.csv and fig9_samples.csv to this directory")
+	)
+	flag.Parse()
+
+	opts := exp.Options{
+		Out:        os.Stdout,
+		Cycles:     *cycles,
+		Scale:      *scale,
+		MaxThreads: *threads,
+		TrackBars:  16,
+	}
+	if *quick {
+		opts = exp.Quick(os.Stdout)
+	}
+
+	fmt.Printf("djbench: %d cycles, scale %.2f, %d threads, GOMAXPROCS=%d NumCPU=%d\n",
+		opts.Cycles, opts.Scale, opts.MaxThreads, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	if runtime.NumCPU() < opts.MaxThreads {
+		fmt.Printf("WARNING: host has %d CPUs; parallel strategies cannot show real speedup\n", runtime.NumCPU())
+	}
+	fmt.Println()
+
+	type driver struct {
+		name string
+		run  func(exp.Options) error
+	}
+	drivers := []driver{
+		{"profile", wrap(exp.Profile)},
+		{"fig4", wrap(exp.Fig4)},
+		{"table1", func(o exp.Options) error {
+			res, err := exp.Table1(o)
+			if err != nil {
+				return err
+			}
+			return writeCSV(*csvDir, "table1.csv", func(w io.Writer) error {
+				return exp.WriteTable1CSV(w, res)
+			})
+		}},
+		{"fig8", wrap(exp.Fig8)},
+		{"fig9", func(o exp.Options) error {
+			res, err := exp.Fig9(o)
+			if err != nil {
+				return err
+			}
+			return writeCSV(*csvDir, "fig9_samples.csv", func(w io.Writer) error {
+				return exp.WriteSamplesCSV(w, res.Samples, exp.ParallelStrategies)
+			})
+		}},
+		{"fig10", wrap(exp.Fig10)},
+		{"fig11", wrap(exp.Fig11)},
+		{"fig12", wrap(exp.Fig12)},
+		{"deadlines", wrap(exp.Deadlines)},
+		{"threadsweep", wrap(exp.ThreadSweep)},
+		{"ablation", wrap(exp.Ablation)},
+		{"staticvsonline", wrap(exp.StaticVsOnline)},
+		{"designspace", wrap(exp.DesignSpace)},
+		{"nodecosts", wrap(exp.NodeCosts)},
+	}
+
+	ran := false
+	for _, d := range drivers {
+		if *experiment != "all" && *experiment != d.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("=== %s ===\n", d.name)
+		if err := d.run(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "djbench: %s: %v\n", d.name, err)
+			os.Exit(1)
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "djbench: unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// writeCSV writes one CSV artifact when a directory was requested.
+func writeCSV(dir, name string, write func(io.Writer) error) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", filepath.Join(dir, name))
+	return nil
+}
+
+// wrap adapts a typed experiment driver to a uniform signature.
+func wrap[T any](f func(exp.Options) (T, error)) func(exp.Options) error {
+	return func(o exp.Options) error {
+		_, err := f(o)
+		return err
+	}
+}

@@ -1,0 +1,172 @@
+// Command djstar runs the reconstructed DJ Star engine as a live session:
+// four decks with synthetic tracks, effect chains, a mixer and the
+// timecode front end, paced against the simulated sound card (one packet
+// every 2.902 ms). It periodically prints a status line with deck
+// positions, meters and deadline statistics — a terminal stand-in for the
+// GUI layer of Fig. 2.
+//
+// Usage:
+//
+//	djstar -duration 10s -strategy busy -threads 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"djstar/internal/audio"
+	"djstar/internal/engine"
+	"djstar/internal/exp"
+	"djstar/internal/graph"
+	"djstar/internal/settings"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 10*time.Second, "how long to run")
+		strategy = flag.String("strategy", "busy", "scheduling strategy (seq, busy, sleep, ws)")
+		threads  = flag.Int("threads", 4, "worker threads")
+		scale    = flag.Float64("scale", 1.0, "node cost scale (1.0 = paper scale)")
+		dvs      = flag.Bool("dvs", true, "timecode (DVS) tempo control")
+		record   = flag.String("record", "", "write the record bus to this WAV file")
+		loadSet  = flag.String("settings", "", "load mixer/deck settings from this JSON file")
+		saveSet  = flag.String("save-settings", "", "save the final settings to this JSON file")
+	)
+	flag.Parse()
+
+	gc := graph.DefaultConfig()
+	gc.Scale = *scale
+	if *scale > 0 {
+		gc.Calibration = exp.Calib()
+	}
+	e, err := engine.New(engine.Config{
+		Graph:          gc,
+		Strategy:       *strategy,
+		Threads:        *threads,
+		DVS:            *dvs,
+		CollectSamples: false,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "djstar: %v\n", err)
+		os.Exit(1)
+	}
+	defer e.Close()
+
+	if *loadSet != "" {
+		f, err := os.Open(*loadSet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "djstar: %v\n", err)
+			os.Exit(1)
+		}
+		st, err := settings.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "djstar: %v\n", err)
+			os.Exit(1)
+		}
+		st.Apply(e.Session())
+		fmt.Printf("loaded settings from %s\n", *loadSet)
+	}
+	if *saveSet != "" {
+		defer func() {
+			f, err := os.Create(*saveSet)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "djstar: %v\n", err)
+				return
+			}
+			defer f.Close()
+			st := settings.Capture(e.Session(), *strategy, *threads)
+			if err := st.Save(f); err != nil {
+				fmt.Fprintf(os.Stderr, "djstar: %v\n", err)
+				return
+			}
+			fmt.Printf("saved settings to %s\n", *saveSet)
+		}()
+	}
+
+	// Optional recorder on the record bus (the RecordBuffer node's
+	// limited/clipped output, exactly what the real app would tape).
+	var rec *audio.WAVWriter
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "djstar: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rec, err = audio.NewWAVWriter(f, audio.SampleRate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "djstar: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "djstar: finalize recording: %v\n", err)
+			}
+			fmt.Printf("recorded %d frames (%.1f s) to %s\n",
+				rec.Frames(), float64(rec.Frames())/audio.SampleRate, *record)
+		}()
+	}
+
+	totalCycles := int(duration.Seconds() / audio.StandardPacketPeriod.Seconds())
+	statusEvery := int(0.5 / audio.StandardPacketPeriod.Seconds()) // twice a second
+
+	fmt.Printf("DJ Star reproduction — %s scheduler, %d threads, %d cycles (%s)\n",
+		*strategy, *threads, totalCycles, *duration)
+	fmt.Printf("packet: %d samples @ %d Hz, deadline %.3f ms\n\n",
+		audio.PacketSize, audio.SampleRate, engine.DeadlineMS)
+
+	m := &engine.Metrics{}
+	*m = *freshMetrics(e)
+	period := audio.StandardPacketPeriod
+	start := time.Now()
+	late := 0
+	for i := 0; i < totalCycles; i++ {
+		due := start.Add(time.Duration(i+1) * period)
+		e.Cycle(m)
+		if rec != nil {
+			if err := rec.WritePacket(e.Session().RecordOut()); err != nil {
+				fmt.Fprintf(os.Stderr, "djstar: recording: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if time.Now().After(due) {
+			late++
+		} else {
+			for time.Now().Before(due) {
+			}
+		}
+		if (i+1)%statusEvery == 0 {
+			printStatus(e, m, i+1, late)
+		}
+	}
+
+	fmt.Printf("\nfinal: %s\n", m)
+	fmt.Printf("late packets (missed sound card request): %d / %d\n", late, totalCycles)
+}
+
+// freshMetrics builds an empty metrics container matching the engine.
+func freshMetrics(e *engine.Engine) *engine.Metrics {
+	// RunCycles(0) conveniently builds an initialized Metrics.
+	return e.RunCycles(0)
+}
+
+// printStatus renders one status line per half second of audio.
+func printStatus(e *engine.Engine, m *engine.Metrics, cycle, late int) {
+	s := e.Session()
+	var decks []string
+	for d, dk := range s.Decks {
+		lock := " "
+		if e.TimecodeLocked(d) {
+			lock = "*"
+		}
+		decks = append(decks, fmt.Sprintf("%c%s %5.1fs @%.2fx",
+			'A'+d, lock, dk.Position()/float64(audio.SampleRate), dk.Tempo()))
+	}
+	fmt.Printf("cycle %6d | %s | out %5.2f | graph %.3f ms avg | late %d\n",
+		cycle, strings.Join(decks, " | "), s.MasterOut().Peak(),
+		m.Graph.Mean(), late)
+}

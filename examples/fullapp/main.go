@@ -1,0 +1,104 @@
+// Full application: all four layers of the paper's Fig. 2 wired together
+// — the audio core with the busy-waiting scheduler, the event middleware
+// a UI would subscribe to, the hardware layer with a simulated performer
+// working the controls, and the analyzed track library. The program
+// subscribes to the bus like a GUI would and prints what it receives.
+//
+//	go run ./examples/fullapp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"djstar/internal/app"
+	"djstar/internal/audio"
+	"djstar/internal/engine"
+	"djstar/internal/graph"
+	"djstar/internal/middleware"
+	"djstar/internal/sched"
+	"djstar/internal/ui"
+)
+
+func main() {
+	gc := graph.DefaultConfig()
+	gc.TrackBars = 8
+	a, err := app.New(app.Config{
+		Engine: engine.Config{
+			Graph:    gc,
+			Strategy: sched.NameBusyWait,
+			Threads:  4,
+		},
+		PerformerSeed:  2026,
+		AnalyzeLibrary: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+
+	// The library was analyzed at startup: print what the browser shows.
+	fmt.Println("track library:")
+	for _, name := range a.Library.Names() {
+		e := a.Library.Get(name)
+		fmt.Printf("  %-8s %6.1f BPM (conf %.2f)  key %-2s  %5.1fs  %d beats gridded\n",
+			name, e.Analysis.BPM, e.Analysis.BPMConfidence,
+			e.Analysis.KeyName, e.Analysis.DurationSeconds, len(e.Analysis.BeatGrid))
+	}
+	fmt.Println("\nwaveform overview (deck-a):")
+	fmt.Print(a.Library.Get("deck-a").Analysis.Overview.Render(4))
+
+	// Subscribe like a GUI.
+	controls, _ := a.Bus.Subscribe(middleware.TopicControl, 256)
+	beats, _ := a.Bus.Subscribe(middleware.TopicBeat, 256)
+	misses, _ := a.Bus.Subscribe(middleware.TopicDeadlineMiss, 16)
+	uiFeed, _ := a.Bus.Subscribe(middleware.TopicWildcard, 1024)
+	view := ui.NewModel(4)
+
+	// Run ten seconds of audio with the performer tweaking controls.
+	seconds := 10.0
+	cycles := int(seconds / audio.StandardPacketPeriod.Seconds())
+	fmt.Printf("\nrunning %d cycles (%.0f s of audio) with a simulated performer...\n\n",
+		cycles, seconds)
+	m := a.RunCycles(cycles)
+
+	nBeats, nCtl := 0, 0
+	drain := func(ch <-chan middleware.Event, f func(middleware.Event)) {
+		for {
+			select {
+			case ev := <-ch:
+				f(ev)
+			default:
+				return
+			}
+		}
+	}
+	drain(beats.Events(), func(middleware.Event) { nBeats++ })
+	var lastCtl []string
+	drain(controls.Events(), func(ev middleware.Event) {
+		nCtl++
+		if len(lastCtl) < 8 {
+			lastCtl = append(lastCtl, fmt.Sprint(ev.Payload))
+		}
+	})
+	fmt.Printf("bus traffic: %d events published, %d beat events, %d control events\n",
+		a.Bus.Published(), nBeats, nCtl)
+	fmt.Printf("first control moves: %v\n", lastCtl)
+	drain(misses.Events(), func(ev middleware.Event) {
+		dm := ev.Payload.(middleware.DeadlineMiss)
+		fmt.Printf("deadline miss at cycle %d: %.3f ms > %.3f ms\n",
+			dm.Cycle, dm.DurationMS, dm.DeadlineMS)
+	})
+
+	// Render the UI layer's dashboard from the drained event stream.
+	view.Drain(uiFeed)
+	fmt.Printf("\nUI dashboard (from %d bus events):\n%s", view.Events(), view.Render(50))
+	pos := a.Engine.Session().Decks[0].Position() /
+		float64(a.Library.Get("deck-a").Track.Len())
+	fmt.Printf("\ndeck-a waveform with playhead:\n%s",
+		ui.WaveformCursor(a.Library.Get("deck-a").Analysis.Overview, pos, 3))
+
+	fmt.Printf("\nengine: %s\n", m)
+	fmt.Printf("mapping: %d control events applied, %d unknown\n",
+		a.Mapping.Applied(), a.Mapping.Unknown())
+}

@@ -1,0 +1,65 @@
+// Timecode control: drive a deck from a simulated control vinyl. A
+// virtual turntable generates the DVS signal; the decoder recovers speed,
+// direction and absolute position every packet; the deck follows — the
+// complete external-control path the paper's timecode decoder subsystem
+// (16 % of APC run time) implements.
+//
+//	go run ./examples/timecodecontrol
+package main
+
+import (
+	"fmt"
+
+	"djstar/internal/audio"
+	"djstar/internal/timecode"
+)
+
+func main() {
+	const rate = audio.SampleRate
+	seq := timecode.NewSequence()
+	turntable := timecode.NewGenerator(seq, rate)
+	decoder := timecode.NewDecoder(seq, rate)
+
+	l := make([]float64, audio.PacketSize)
+	r := make([]float64, audio.PacketSize)
+
+	run := func(packets int, label string) {
+		for i := 0; i < packets; i++ {
+			turntable.Generate(l, r)
+			decoder.Decode(l, r)
+		}
+		pos, locked := decoder.Position()
+		lock := "searching"
+		if locked {
+			lock = fmt.Sprintf("locked @ %.2fs", timecode.PositionSeconds(pos))
+		}
+		dir := map[int]string{1: "fwd", -1: "rev", 0: "?"}[decoder.Direction()]
+		fmt.Printf("%-34s needle %8.1f cyc  speed %5.2f %s  %s\n",
+			label, turntable.Position(), decoder.Speed(), dir, lock)
+	}
+
+	fmt.Println("-- drop the needle, normal playback --")
+	turntable.Seek(2500)
+	turntable.SetSpeed(1.0)
+	run(40, "play 1.0x")
+
+	fmt.Println("-- pitch up (beatmatching) --")
+	turntable.SetSpeed(1.08)
+	run(60, "play 1.08x")
+
+	fmt.Println("-- scratch: spin backwards --")
+	turntable.SetSpeed(-2.0)
+	run(30, "scratch -2.0x")
+
+	fmt.Println("-- release: back to forward --")
+	turntable.SetSpeed(1.0)
+	run(60, "play 1.0x (relock)")
+
+	fmt.Println("-- needle drop to a different groove --")
+	turntable.Seek(48000)
+	run(40, "after needle drop")
+
+	fmt.Println("-- slow creep (half speed) --")
+	turntable.SetSpeed(0.5)
+	run(80, "play 0.5x")
+}

@@ -1,0 +1,3 @@
+module djstar
+
+go 1.22

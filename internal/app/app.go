@@ -1,0 +1,154 @@
+// Package app is the Application Facade of the paper's Fig. 2: it wires
+// the four layers together — the Core (audio engine + task graph), the
+// Event Middleware (UI-facing publish/subscribe bus), the Hardware Access
+// layer (control surface mapping + simulated performer) and the track
+// library — into one runnable application the UI layer (or a terminal
+// front end like cmd/djstar) drives.
+package app
+
+import (
+	"fmt"
+
+	"djstar/internal/audio"
+	"djstar/internal/engine"
+	"djstar/internal/hardware"
+	"djstar/internal/library"
+	"djstar/internal/middleware"
+)
+
+// Config configures the application.
+type Config struct {
+	// Engine configures the audio core (graph, strategy, threads).
+	Engine engine.Config
+	// PerformerSeed, when nonzero, attaches a simulated performer that
+	// works the controls (the stand-in for a human DJ on USB hardware).
+	PerformerSeed uint64
+	// AnalyzeLibrary runs offline track analysis on the loaded deck
+	// tracks at startup (BPM, key, beat grid). Costs ~0.1 s per track.
+	AnalyzeLibrary bool
+	// PositionEvery throttles deck-position events to every n-th cycle
+	// (default 16 ≈ 21 updates/s, a typical UI refresh budget).
+	PositionEvery int
+}
+
+// App owns the wired-up application.
+type App struct {
+	// Engine is the audio core.
+	Engine *engine.Engine
+	// Bus is the event middleware the UI subscribes to.
+	Bus *middleware.Bus
+	// Library indexes the analyzed tracks.
+	Library *library.Library
+	// Mapping routes control events into the session.
+	Mapping *hardware.Mapping
+
+	performer     *hardware.Performer
+	positionEvery int
+	cycle         int64
+	lastPhase     []float64
+}
+
+// New builds the application.
+func New(cfg Config) (*App, error) {
+	e, err := engine.New(cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("app: %w", err)
+	}
+	a := &App{
+		Engine:        e,
+		Bus:           middleware.New(),
+		Library:       library.New(cfg.Engine.Graph.Rate),
+		Mapping:       hardware.NewMapping(e.Session()),
+		positionEvery: cfg.PositionEvery,
+	}
+	if a.positionEvery <= 0 {
+		a.positionEvery = 16
+	}
+	if cfg.PerformerSeed != 0 {
+		a.performer = hardware.NewPerformer(cfg.PerformerSeed, len(e.Session().Decks))
+	}
+	a.lastPhase = make([]float64, len(e.Session().Decks))
+
+	if cfg.AnalyzeLibrary {
+		for _, d := range e.Session().Decks {
+			if tr := d.Track(); tr != nil {
+				if _, err := a.Library.Add(tr); err != nil {
+					e.Close()
+					return nil, fmt.Errorf("app: %w", err)
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// Close shuts the engine down.
+func (a *App) Close() { a.Engine.Close() }
+
+// Cycle runs one audio processing cycle: apply pending control input,
+// compute the packet, publish UI events. Metrics may be nil.
+func (a *App) Cycle(m *engine.Metrics) {
+	// Hardware input is applied between cycles, like the real app's
+	// control thread handing parameter changes to the audio thread.
+	if a.performer != nil {
+		for _, ev := range a.performer.Next() {
+			a.Mapping.Apply(ev)
+			a.Bus.Publish(middleware.TopicControl, ev)
+		}
+	}
+
+	before := 0.0
+	if m != nil {
+		before = m.APC.Max()
+	}
+	a.Engine.Cycle(m)
+	a.cycle++
+
+	s := a.Engine.Session()
+	// Beat events: detect beat-phase wrap per deck.
+	for d, dk := range s.Decks {
+		phase := dk.BeatPhase() * 4 // bars -> beats (4/4)
+		beatFrac := phase - float64(int(phase))
+		if beatFrac < a.lastPhase[d] && dk.Playing() {
+			a.Bus.Publish(middleware.TopicBeat, middleware.Beat{Deck: d, Phase: beatFrac})
+		}
+		a.lastPhase[d] = beatFrac
+	}
+
+	// Throttled position + meter updates.
+	if a.cycle%int64(a.positionEvery) == 0 {
+		for d, dk := range s.Decks {
+			a.Bus.Publish(middleware.TopicDeckPosition, middleware.DeckPosition{
+				Deck:    d,
+				Frames:  dk.Position(),
+				Seconds: dk.Position() / float64(audio.SampleRate),
+				Tempo:   dk.Tempo(),
+				Playing: dk.Playing(),
+			})
+		}
+		out := s.MasterOut()
+		a.Bus.Publish(middleware.TopicMeterMaster, middleware.MeterLevels{
+			Source: "master",
+			Peak:   out.Peak(),
+			RMS:    out.RMS(),
+		})
+	}
+
+	// Deadline misses surface immediately.
+	if m != nil && m.APC.Max() > engine.DeadlineMS && m.APC.Max() != before {
+		a.Bus.Publish(middleware.TopicDeadlineMiss, middleware.DeadlineMiss{
+			Cycle:      a.cycle,
+			DurationMS: m.APC.Max(),
+			DeadlineMS: engine.DeadlineMS,
+		})
+	}
+}
+
+// RunCycles runs n cycles and returns the metrics.
+func (a *App) RunCycles(n int) *engine.Metrics {
+	m := a.Engine.RunCycles(0) // empty initialized container
+	for i := 0; i < n; i++ {
+		a.Cycle(m)
+	}
+	return m
+}

@@ -1,0 +1,177 @@
+package app
+
+import (
+	"fmt"
+
+	"djstar/internal/audio"
+	"djstar/internal/library"
+	"djstar/internal/mixer"
+)
+
+// Autopilot plays an automatic set on two decks: when the live track
+// reaches its mix-out point, it picks the most compatible next track from
+// the library (tempo + harmonic key), loads it on the idle deck, beat
+// syncs it and crossfades over a configurable number of beats. It is the
+// integration feature that exercises the whole stack — library analysis,
+// deck control, sync, mixer — from one place.
+type Autopilot struct {
+	app *App
+	// CrossfadeBeats is the transition length (default 32).
+	CrossfadeBeats float64
+	// BPMTolerancePct bounds the track selection (default 8).
+	BPMTolerancePct float64
+
+	liveDeck    int
+	fading      bool
+	fadePos     float64 // 0..1 crossfader progress
+	fadeStep    float64 // per-cycle progress during a transition
+	mixOut      int     // frame at which to start the next transition
+	history     []string
+	transitions int
+}
+
+// NewAutopilot returns an autopilot driving decks 0 and 1 of the app.
+// The app's library must contain analyzed tracks (Config.AnalyzeLibrary
+// or explicit Library.Add calls).
+func NewAutopilot(a *App) *Autopilot {
+	return &Autopilot{
+		app:             a,
+		CrossfadeBeats:  32,
+		BPMTolerancePct: 8,
+		liveDeck:        0,
+	}
+}
+
+// LiveDeck returns the deck currently carrying the set (0 or 1).
+func (ap *Autopilot) LiveDeck() int { return ap.liveDeck }
+
+// Transitions returns how many track changes the autopilot has performed.
+func (ap *Autopilot) Transitions() int { return ap.transitions }
+
+// History returns the names of tracks played, in order.
+func (ap *Autopilot) History() []string { return ap.history }
+
+// Start begins the set with the named track on deck 0.
+func (ap *Autopilot) Start(trackName string) error {
+	e := ap.app.Library.Get(trackName)
+	if e == nil {
+		return fmt.Errorf("app: autopilot start track %q not in library", trackName)
+	}
+	s := ap.app.Engine.Session()
+	s.Decks[0].Load(e.Track)
+	s.Decks[0].Play()
+	s.Decks[1].Pause()
+	s.Strips[0].SetCrossfadeSide(mixer.CrossfadeA)
+	s.Strips[1].SetCrossfadeSide(mixer.CrossfadeB)
+	s.Mix.SetCrossfade(0)
+	ap.liveDeck = 0
+	ap.fading = false
+	ap.history = append(ap.history[:0], trackName)
+	ap.computeMixOut(e)
+	return nil
+}
+
+// Cycle advances the autopilot one audio cycle; call it after app.Cycle.
+// It returns true while a transition is in progress.
+func (ap *Autopilot) Cycle() bool {
+	s := ap.app.Engine.Session()
+	live := s.Decks[ap.liveDeck]
+
+	if !ap.fading {
+		if live.Track() == nil || !live.Playing() {
+			return false
+		}
+		if int(live.Position()) >= ap.mixOut {
+			if err := ap.beginTransition(); err != nil {
+				// No compatible next track: let the current one ride.
+				ap.mixOut = int(float64(live.Track().Len()) * 2) // never again
+				return false
+			}
+		}
+		return ap.fading
+	}
+
+	// Advance the crossfade.
+	ap.fadePos += ap.fadeStep
+	x := audio.Clamp(ap.fadePos, 0, 1)
+	if ap.liveDeck == 0 {
+		s.Mix.SetCrossfade(x)
+	} else {
+		s.Mix.SetCrossfade(1 - x)
+	}
+	if ap.fadePos >= 1 {
+		// Transition complete: stop the old deck, swap live.
+		old := ap.liveDeck
+		ap.liveDeck = 1 - ap.liveDeck
+		s.Decks[old].Pause()
+		ap.fading = false
+		ap.transitions++
+		ap.computeMixOut(ap.app.Library.Get(ap.history[len(ap.history)-1]))
+	}
+	return true
+}
+
+// beginTransition selects, loads, syncs and starts the next track.
+func (ap *Autopilot) beginTransition() error {
+	liveName := ap.history[len(ap.history)-1]
+	liveEntry := ap.app.Library.Get(liveName)
+	candidates := ap.app.Library.CompatibleTracks(liveEntry, ap.BPMTolerancePct)
+	// Avoid immediate repeats of recently played tracks.
+	var next *library.Entry
+	for _, c := range candidates {
+		if !ap.recentlyPlayed(c.Track.Name) {
+			next = c
+			break
+		}
+	}
+	if next == nil && len(candidates) > 0 {
+		next = candidates[0]
+	}
+	if next == nil {
+		return fmt.Errorf("app: no compatible next track for %q", liveName)
+	}
+
+	s := ap.app.Engine.Session()
+	idle := 1 - ap.liveDeck
+	s.Decks[idle].Load(next.Track)
+	s.Decks[idle].Play()
+	if err := ap.app.SyncDeck(idle, ap.liveDeck); err != nil {
+		return err
+	}
+
+	// Fade duration: CrossfadeBeats at the live tempo, in cycles.
+	live := s.Decks[ap.liveDeck]
+	bpm := live.Track().BPM * live.Tempo()
+	beats := ap.CrossfadeBeats
+	if bpm <= 0 {
+		bpm = 120
+	}
+	seconds := beats * 60 / bpm
+	cycles := seconds / audio.StandardPacketPeriod.Seconds()
+	ap.fadeStep = 1 / cycles
+	ap.fadePos = 0
+	ap.fading = true
+	ap.history = append(ap.history, next.Track.Name)
+	return nil
+}
+
+// recentlyPlayed checks the last two set entries.
+func (ap *Autopilot) recentlyPlayed(name string) bool {
+	n := len(ap.history)
+	for i := max(0, n-2); i < n; i++ {
+		if ap.history[i] == name {
+			return true
+		}
+	}
+	return false
+}
+
+// computeMixOut derives the next transition point for the live entry.
+func (ap *Autopilot) computeMixOut(e *library.Entry) {
+	if e == nil || e.Analysis == nil {
+		ap.mixOut = 0
+		return
+	}
+	sections := library.DetectSections(e.Analysis.Overview, e.Track.Len(), 0.4)
+	ap.mixOut = library.MixOutPoint(sections, e.Track.Len())
+}

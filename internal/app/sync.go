@@ -1,0 +1,71 @@
+package app
+
+import (
+	"fmt"
+	"math"
+)
+
+// SyncDeck beat-matches the slave deck to the master deck — the "sync
+// button" of every modern DJ application: it sets the slave's tempo so
+// both decks play at the same effective BPM and nudges the slave's
+// playhead so the beats line up.
+//
+// BPM comes from the tracks' metadata (synthetic tracks know their tempo;
+// imported tracks carry the analyzer's estimate).
+func (a *App) SyncDeck(slave, master int) error {
+	s := a.Engine.Session()
+	if slave < 0 || slave >= len(s.Decks) || master < 0 || master >= len(s.Decks) {
+		return fmt.Errorf("app: sync decks %d->%d out of range [0,%d)", slave, master, len(s.Decks))
+	}
+	if slave == master {
+		return fmt.Errorf("app: cannot sync deck %d to itself", slave)
+	}
+	sd, md := s.Decks[slave], s.Decks[master]
+	if sd.Track() == nil || md.Track() == nil {
+		return fmt.Errorf("app: sync needs tracks on both decks")
+	}
+	slaveBPM, masterBPM := sd.Track().BPM, md.Track().BPM
+	if slaveBPM <= 0 || masterBPM <= 0 {
+		return fmt.Errorf("app: sync needs known BPMs (slave %v, master %v)", slaveBPM, masterBPM)
+	}
+
+	// Tempo: make effective BPMs equal.
+	// effBPM = trackBPM * tempo  =>  tempo_s = effBPM_m / trackBPM_s.
+	effMaster := masterBPM * md.Tempo()
+	sd.SetTempo(effMaster / slaveBPM)
+
+	// Phase: shift the slave playhead to the master's beat phase. Both
+	// phases are expressed as a fraction of a beat (quarter bar).
+	masterBeat := md.BeatPhase() * 4
+	slaveBeat := sd.BeatPhase() * 4
+	masterFrac := masterBeat - math.Floor(masterBeat)
+	slaveFrac := slaveBeat - math.Floor(slaveBeat)
+	diff := masterFrac - slaveFrac
+	// Take the shorter way around the beat.
+	if diff > 0.5 {
+		diff -= 1
+	} else if diff < -0.5 {
+		diff += 1
+	}
+	framesPerBeat := float64(sd.Track().FramesPerBar) / 4
+	sd.Seek(sd.Position() + diff*framesPerBeat)
+	return nil
+}
+
+// BeatOffset returns the current beat-phase difference between two decks
+// in beats, in [-0.5, 0.5). Zero means beat-aligned.
+func (a *App) BeatOffset(d1, d2 int) (float64, error) {
+	s := a.Engine.Session()
+	if d1 < 0 || d1 >= len(s.Decks) || d2 < 0 || d2 >= len(s.Decks) {
+		return 0, fmt.Errorf("app: decks %d/%d out of range", d1, d2)
+	}
+	b1 := s.Decks[d1].BeatPhase() * 4
+	b2 := s.Decks[d2].BeatPhase() * 4
+	diff := (b1 - math.Floor(b1)) - (b2 - math.Floor(b2))
+	if diff >= 0.5 {
+		diff -= 1
+	} else if diff < -0.5 {
+		diff += 1
+	}
+	return diff, nil
+}

@@ -1,0 +1,66 @@
+package app
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSyncDeckMatchesTempoAndPhase(t *testing.T) {
+	a, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	s := a.Engine.Session()
+
+	// Let the decks drift apart first.
+	a.RunCycles(400)
+
+	// Sync deck B (128 BPM track) to deck A (126 BPM track).
+	if err := a.SyncDeck(1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Effective BPMs equal.
+	effA := s.Decks[0].Track().BPM * s.Decks[0].Tempo()
+	effB := s.Decks[1].Track().BPM * s.Decks[1].Tempo()
+	if math.Abs(effA-effB) > 0.01 {
+		t.Fatalf("effective BPM %v vs %v", effA, effB)
+	}
+
+	// Beat phases aligned immediately after sync.
+	off, err := a.BeatOffset(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(off) > 0.02 {
+		t.Fatalf("beat offset after sync = %v beats", off)
+	}
+
+	// And they stay aligned over the next few seconds (tempo-matched).
+	a.RunCycles(1000)
+	off, _ = a.BeatOffset(0, 1)
+	if math.Abs(off) > 0.1 {
+		t.Fatalf("decks drifted to %v beats after sync", off)
+	}
+}
+
+func TestSyncDeckValidation(t *testing.T) {
+	a, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.SyncDeck(0, 0); err == nil {
+		t.Fatal("self-sync accepted")
+	}
+	if err := a.SyncDeck(-1, 0); err == nil {
+		t.Fatal("negative deck accepted")
+	}
+	if err := a.SyncDeck(0, 99); err == nil {
+		t.Fatal("out-of-range master accepted")
+	}
+	if _, err := a.BeatOffset(0, 99); err == nil {
+		t.Fatal("BeatOffset out of range accepted")
+	}
+}

@@ -1,0 +1,213 @@
+// Package audio provides the fundamental sample-buffer types and packet
+// clock arithmetic used throughout the DJ Star reproduction.
+//
+// DJ Star processes audio in fixed-size packets of 128 samples at a
+// 44.1 kHz sampling rate, which means the sound card requests a fresh
+// packet every 2.902 ms (344.53 Hz). Every subsystem in this repository
+// operates on these packets; the types here are deliberately small and
+// allocation-free in their hot paths.
+package audio
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Standard DJ Star stream parameters (paper §III-A).
+const (
+	// SampleRate is the output sampling rate in Hz.
+	SampleRate = 44100
+
+	// PacketSize is the number of frames per audio packet (buffer size BS).
+	PacketSize = 128
+)
+
+// PacketPeriod returns the wall-clock duration of one packet of n frames at
+// rate hz: the hard deadline for producing the next packet.
+func PacketPeriod(n, hz int) time.Duration {
+	return time.Duration(float64(n) / float64(hz) * float64(time.Second))
+}
+
+// StandardPacketPeriod is the DJ Star deadline: 128 frames at 44.1 kHz,
+// approximately 2.902 ms.
+var StandardPacketPeriod = PacketPeriod(PacketSize, SampleRate)
+
+// PacketRate returns the packet request frequency in Hz for n frames at
+// sampling rate hz (344.53 Hz for the standard configuration).
+func PacketRate(n, hz int) float64 {
+	return float64(hz) / float64(n)
+}
+
+// Buffer is a mono audio packet: a fixed-length slice of float64 samples in
+// the nominal range [-1, 1]. Code that processes Buffers must not change
+// their length.
+type Buffer []float64
+
+// NewBuffer allocates a zeroed mono buffer of n frames.
+func NewBuffer(n int) Buffer { return make(Buffer, n) }
+
+// Zero clears the buffer in place.
+func (b Buffer) Zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// CopyFrom copies src into b. The buffers must have equal length.
+func (b Buffer) CopyFrom(src Buffer) {
+	if len(b) != len(src) {
+		panic(fmt.Sprintf("audio: CopyFrom length mismatch %d != %d", len(b), len(src)))
+	}
+	copy(b, src)
+}
+
+// AddFrom mixes src into b sample-wise with the given linear gain.
+func (b Buffer) AddFrom(src Buffer, gain float64) {
+	n := min(len(b), len(src))
+	for i := 0; i < n; i++ {
+		b[i] += src[i] * gain
+	}
+}
+
+// Scale multiplies every sample by the linear gain g.
+func (b Buffer) Scale(g float64) {
+	for i := range b {
+		b[i] *= g
+	}
+}
+
+// Peak returns the largest absolute sample value.
+func (b Buffer) Peak() float64 {
+	p := 0.0
+	for _, s := range b {
+		if a := math.Abs(s); a > p {
+			p = a
+		}
+	}
+	return p
+}
+
+// RMS returns the root-mean-square level of the buffer, 0 for an empty one.
+func (b Buffer) RMS() float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range b {
+		sum += s * s
+	}
+	return math.Sqrt(sum / float64(len(b)))
+}
+
+// Energy returns the sum of squared samples.
+func (b Buffer) Energy() float64 {
+	sum := 0.0
+	for _, s := range b {
+		sum += s * s
+	}
+	return sum
+}
+
+// Stereo is a two-channel audio packet with independent left and right
+// buffers of equal length.
+type Stereo struct {
+	L, R Buffer
+}
+
+// NewStereo allocates a zeroed stereo packet of n frames per channel.
+func NewStereo(n int) Stereo {
+	return Stereo{L: NewBuffer(n), R: NewBuffer(n)}
+}
+
+// Len returns the number of frames per channel.
+func (s Stereo) Len() int { return len(s.L) }
+
+// Zero clears both channels.
+func (s Stereo) Zero() {
+	s.L.Zero()
+	s.R.Zero()
+}
+
+// CopyFrom copies both channels from src.
+func (s Stereo) CopyFrom(src Stereo) {
+	s.L.CopyFrom(src.L)
+	s.R.CopyFrom(src.R)
+}
+
+// AddFrom mixes src into s with the given linear gain on both channels.
+func (s Stereo) AddFrom(src Stereo, gain float64) {
+	s.L.AddFrom(src.L, gain)
+	s.R.AddFrom(src.R, gain)
+}
+
+// Scale multiplies both channels by the linear gain g.
+func (s Stereo) Scale(g float64) {
+	s.L.Scale(g)
+	s.R.Scale(g)
+}
+
+// Peak returns the largest absolute sample over both channels.
+func (s Stereo) Peak() float64 {
+	return math.Max(s.L.Peak(), s.R.Peak())
+}
+
+// RMS returns the combined RMS level over both channels.
+func (s Stereo) RMS() float64 {
+	n := len(s.L) + len(s.R)
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt((s.L.Energy() + s.R.Energy()) / float64(n))
+}
+
+// Mono mixes the stereo packet down into dst as (L+R)/2.
+// dst must have the same frame count.
+func (s Stereo) Mono(dst Buffer) {
+	if len(dst) != len(s.L) {
+		panic(fmt.Sprintf("audio: Mono length mismatch %d != %d", len(dst), len(s.L)))
+	}
+	for i := range dst {
+		dst[i] = 0.5 * (s.L[i] + s.R[i])
+	}
+}
+
+// DBToLinear converts a decibel value to a linear gain factor.
+// 0 dB is unity, -inf dB is 0.
+func DBToLinear(db float64) float64 {
+	if math.IsInf(db, -1) {
+		return 0
+	}
+	return math.Pow(10, db/20)
+}
+
+// LinearToDB converts a linear gain factor to decibels.
+// A gain of 0 returns -inf.
+func LinearToDB(g float64) float64 {
+	if g <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(g)
+}
+
+// Clamp limits x to the range [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// FramesToDuration converts a frame count at rate hz to wall-clock time.
+func FramesToDuration(frames, hz int) time.Duration {
+	return time.Duration(float64(frames) / float64(hz) * float64(time.Second))
+}
+
+// DurationToFrames converts wall-clock time to a frame count at rate hz,
+// rounding to nearest.
+func DurationToFrames(d time.Duration, hz int) int {
+	return int(math.Round(d.Seconds() * float64(hz)))
+}

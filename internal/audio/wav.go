@@ -1,0 +1,149 @@
+package audio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WAV encoding for the record path (RecordBuffer in Fig. 3 feeds a
+// recorder in the real application). 16-bit PCM, interleaved stereo.
+
+// WAVWriter streams stereo packets into a RIFF/WAVE container. Because
+// the total length is unknown until Close, it requires an io.WriteSeeker
+// to patch the header sizes at the end.
+type WAVWriter struct {
+	w      io.WriteSeeker
+	rate   int
+	frames int64
+	closed bool
+}
+
+// NewWAVWriter writes a 16-bit stereo WAV header for the given sampling
+// rate and returns a writer ready to receive packets.
+func NewWAVWriter(w io.WriteSeeker, rate int) (*WAVWriter, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("audio: invalid WAV sample rate %d", rate)
+	}
+	ww := &WAVWriter{w: w, rate: rate}
+	if err := ww.writeHeader(0); err != nil {
+		return nil, err
+	}
+	return ww, nil
+}
+
+func (ww *WAVWriter) writeHeader(dataBytes uint32) error {
+	const (
+		channels      = 2
+		bitsPerSample = 16
+	)
+	blockAlign := channels * bitsPerSample / 8
+	byteRate := uint32(ww.rate * blockAlign)
+
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], 36+dataBytes)
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16) // PCM fmt chunk size
+	binary.LittleEndian.PutUint16(hdr[20:22], 1)  // PCM
+	binary.LittleEndian.PutUint16(hdr[22:24], channels)
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(ww.rate))
+	binary.LittleEndian.PutUint32(hdr[28:32], byteRate)
+	binary.LittleEndian.PutUint16(hdr[32:34], uint16(blockAlign))
+	binary.LittleEndian.PutUint16(hdr[34:36], bitsPerSample)
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], dataBytes)
+
+	if _, err := ww.w.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	_, err := ww.w.Write(hdr[:])
+	return err
+}
+
+// WritePacket appends one stereo packet, clamping samples to [-1, 1].
+func (ww *WAVWriter) WritePacket(s Stereo) error {
+	if ww.closed {
+		return fmt.Errorf("audio: write to closed WAVWriter")
+	}
+	n := s.Len()
+	buf := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint16(buf[i*4:], uint16(pcm16(s.L[i])))
+		binary.LittleEndian.PutUint16(buf[i*4+2:], uint16(pcm16(s.R[i])))
+	}
+	if _, err := ww.w.Write(buf); err != nil {
+		return err
+	}
+	ww.frames += int64(n)
+	return nil
+}
+
+// Frames returns the number of frames written so far.
+func (ww *WAVWriter) Frames() int64 { return ww.frames }
+
+// Close patches the RIFF header with the final sizes. The underlying
+// writer is not closed.
+func (ww *WAVWriter) Close() error {
+	if ww.closed {
+		return nil
+	}
+	ww.closed = true
+	dataBytes := uint32(ww.frames * 4)
+	if err := ww.writeHeader(dataBytes); err != nil {
+		return err
+	}
+	_, err := ww.w.Seek(0, io.SeekEnd)
+	return err
+}
+
+// pcm16 converts a float sample to a clamped 16-bit PCM value.
+func pcm16(x float64) int16 {
+	x = Clamp(x, -1, 1)
+	v := math.Round(x * 32767)
+	return int16(v)
+}
+
+// DecodeWAV parses a 16-bit stereo PCM WAV produced by WAVWriter (or any
+// compatible encoder) and returns the audio and sampling rate. It is used
+// by tests and by track-import tooling; it intentionally supports only
+// the canonical 44-byte-header layout plus extra trailing chunks.
+func DecodeWAV(r io.Reader) (Stereo, int, error) {
+	var hdr [44]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Stereo{}, 0, fmt.Errorf("audio: short WAV header: %w", err)
+	}
+	if string(hdr[0:4]) != "RIFF" || string(hdr[8:12]) != "WAVE" || string(hdr[12:16]) != "fmt " {
+		return Stereo{}, 0, fmt.Errorf("audio: not a RIFF/WAVE file")
+	}
+	if binary.LittleEndian.Uint16(hdr[20:22]) != 1 {
+		return Stereo{}, 0, fmt.Errorf("audio: not PCM")
+	}
+	if ch := binary.LittleEndian.Uint16(hdr[22:24]); ch != 2 {
+		return Stereo{}, 0, fmt.Errorf("audio: %d channels, want stereo", ch)
+	}
+	if bits := binary.LittleEndian.Uint16(hdr[34:36]); bits != 16 {
+		return Stereo{}, 0, fmt.Errorf("audio: %d-bit samples, want 16", bits)
+	}
+	rate := int(binary.LittleEndian.Uint32(hdr[24:28]))
+	if string(hdr[36:40]) != "data" {
+		return Stereo{}, 0, fmt.Errorf("audio: missing data chunk")
+	}
+	dataBytes := binary.LittleEndian.Uint32(hdr[40:44])
+
+	raw := make([]byte, dataBytes)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return Stereo{}, 0, fmt.Errorf("audio: short WAV data: %w", err)
+	}
+	frames := int(dataBytes / 4)
+	out := NewStereo(frames)
+	for i := 0; i < frames; i++ {
+		l := int16(binary.LittleEndian.Uint16(raw[i*4:]))
+		rr := int16(binary.LittleEndian.Uint16(raw[i*4+2:]))
+		out.L[i] = float64(l) / 32767
+		out.R[i] = float64(rr) / 32767
+	}
+	return out, rate, nil
+}

@@ -1,0 +1,136 @@
+package dsp
+
+import "fmt"
+
+// DelayLine is a circular buffer supporting fixed and fractionally
+// interpolated taps. Echo, flanger and phaser effects are built on it.
+type DelayLine struct {
+	buf  []float64
+	pos  int // next write position
+	mask int // len(buf)-1 when len is a power of two, else -1
+}
+
+// NewDelayLine returns a delay line holding capacity samples of history.
+// Capacity is rounded up to the next power of two so taps can wrap with a
+// mask instead of a modulo.
+func NewDelayLine(capacity int) *DelayLine {
+	if capacity < 1 {
+		capacity = 1
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &DelayLine{buf: make([]float64, size), mask: size - 1}
+}
+
+// Capacity returns the usable history length in samples.
+func (d *DelayLine) Capacity() int { return len(d.buf) }
+
+// Reset zeroes the history.
+func (d *DelayLine) Reset() {
+	for i := range d.buf {
+		d.buf[i] = 0
+	}
+	d.pos = 0
+}
+
+// Write pushes one sample into the line.
+func (d *DelayLine) Write(x float64) {
+	d.buf[d.pos] = x
+	d.pos = (d.pos + 1) & d.mask
+}
+
+// Read returns the sample written delay steps ago. delay must be in
+// [1, Capacity()]; it is clamped otherwise.
+func (d *DelayLine) Read(delay int) float64 {
+	if delay < 1 {
+		delay = 1
+	}
+	if delay > len(d.buf) {
+		delay = len(d.buf)
+	}
+	return d.buf[(d.pos-delay)&d.mask]
+}
+
+// ReadFrac returns the linearly interpolated sample delay (possibly
+// fractional) steps in the past. Used by modulated effects (flanger).
+func (d *DelayLine) ReadFrac(delay float64) float64 {
+	if delay < 1 {
+		delay = 1
+	}
+	maxDelay := float64(len(d.buf) - 1)
+	if delay > maxDelay {
+		delay = maxDelay
+	}
+	i := int(delay)
+	frac := delay - float64(i)
+	a := d.buf[(d.pos-i)&d.mask]
+	b := d.buf[(d.pos-i-1)&d.mask]
+	return a + frac*(b-a)
+}
+
+// String implements fmt.Stringer for debugging.
+func (d *DelayLine) String() string {
+	return fmt.Sprintf("DelayLine(cap=%d, pos=%d)", len(d.buf), d.pos)
+}
+
+// Comb is a feedback comb filter: y[n] = x[n-D] + g*y[n-D]. Building block
+// of the Schroeder reverb.
+type Comb struct {
+	line  *DelayLine
+	delay int
+	// Feedback is the loop gain g; |g| < 1 for stability.
+	Feedback float64
+	// Damp low-pass filters the feedback path (0 = none, towards 1 = dark).
+	Damp  float64
+	state float64
+}
+
+// NewComb returns a comb filter with the given delay in samples.
+func NewComb(delay int, feedback, damp float64) *Comb {
+	return &Comb{
+		line:     NewDelayLine(delay),
+		delay:    delay,
+		Feedback: feedback,
+		Damp:     damp,
+	}
+}
+
+// ProcessSample runs one sample through the comb.
+func (c *Comb) ProcessSample(x float64) float64 {
+	out := c.line.Read(c.delay)
+	c.state = out*(1-c.Damp) + c.state*c.Damp
+	c.line.Write(x + c.state*c.Feedback)
+	return out
+}
+
+// Reset clears the comb's history.
+func (c *Comb) Reset() {
+	c.line.Reset()
+	c.state = 0
+}
+
+// AllPassDelay is a Schroeder all-pass diffuser:
+// y[n] = -g*x[n] + x[n-D] + g*y[n-D].
+type AllPassDelay struct {
+	line  *DelayLine
+	delay int
+	Gain  float64
+}
+
+// NewAllPassDelay returns an all-pass stage with the given delay in samples.
+func NewAllPassDelay(delay int, gain float64) *AllPassDelay {
+	return &AllPassDelay{line: NewDelayLine(delay), delay: delay, Gain: gain}
+}
+
+// ProcessSample runs one sample through the all-pass stage.
+func (a *AllPassDelay) ProcessSample(x float64) float64 {
+	delayed := a.line.Read(a.delay)
+	y := -a.Gain*x + delayed
+	a.line.Write(x + a.Gain*y)
+	return y
+}
+
+// Reset clears the stage history.
+func (a *AllPassDelay) Reset() { a.line.Reset() }

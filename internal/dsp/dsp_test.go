@@ -1,0 +1,379 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"djstar/internal/synth"
+)
+
+func TestThreeBandEQFlatByDefault(t *testing.T) {
+	eq := NewThreeBandEQ(44100)
+	for _, freq := range []float64{50, 500, 2000, 10000} {
+		if m := eq.MagnitudeAt(freq); math.Abs(m-1) > 0.02 {
+			t.Fatalf("flat EQ magnitude at %v Hz = %v", freq, m)
+		}
+	}
+}
+
+func TestThreeBandEQKill(t *testing.T) {
+	eq := NewThreeBandEQ(44100)
+	eq.SetGains(EQGainMin, 0, 0) // low kill
+	if m := eq.MagnitudeAt(60); m > 0.12 {
+		t.Fatalf("low kill leaves %v at 60 Hz", m)
+	}
+	if m := eq.MagnitudeAt(10000); math.Abs(m-1) > 0.1 {
+		t.Fatalf("low kill affects highs: %v", m)
+	}
+}
+
+func TestThreeBandEQClampsGain(t *testing.T) {
+	eq := NewThreeBandEQ(44100)
+	eq.SetGains(-100, +100, 0)
+	l, m, h := eq.Gains()
+	if l != EQGainMin || m != EQGainMax || h != 0 {
+		t.Fatalf("Gains = %v %v %v, want clamped", l, m, h)
+	}
+}
+
+func TestThreeBandEQProcessStable(t *testing.T) {
+	eq := NewThreeBandEQ(44100)
+	eq.SetGains(6, -6, 12)
+	buf := synth.WhiteNoise(44100, 0.5, 3)
+	eq.Process(buf)
+	for i, s := range buf {
+		if math.IsNaN(s) || math.Abs(s) > 20 {
+			t.Fatalf("unstable EQ output at %d: %v", i, s)
+		}
+	}
+	eq.Reset()
+}
+
+func TestDelayLineRead(t *testing.T) {
+	d := NewDelayLine(8)
+	for i := 1; i <= 8; i++ {
+		d.Write(float64(i))
+	}
+	if got := d.Read(1); got != 8 {
+		t.Fatalf("Read(1) = %v, want 8", got)
+	}
+	if got := d.Read(8); got != 1 {
+		t.Fatalf("Read(8) = %v, want 1", got)
+	}
+	// Clamping.
+	if got := d.Read(0); got != 8 {
+		t.Fatalf("Read(0) clamps to 1, got %v", got)
+	}
+	if got := d.Read(100); got != 1 {
+		t.Fatalf("Read(100) clamps to cap, got %v", got)
+	}
+}
+
+func TestDelayLineFracInterpolates(t *testing.T) {
+	d := NewDelayLine(8)
+	d.Write(0)
+	d.Write(10)
+	// 1 step ago = 10, 2 steps ago = 0; 1.5 steps ago = 5.
+	if got := d.ReadFrac(1.5); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("ReadFrac(1.5) = %v, want 5", got)
+	}
+}
+
+func TestDelayLineCapacityRounding(t *testing.T) {
+	if c := NewDelayLine(100).Capacity(); c != 128 {
+		t.Fatalf("Capacity = %d, want 128", c)
+	}
+	if c := NewDelayLine(0).Capacity(); c < 1 {
+		t.Fatalf("zero capacity line unusable: %d", c)
+	}
+}
+
+func TestDelayLineResetAndString(t *testing.T) {
+	d := NewDelayLine(4)
+	d.Write(5)
+	d.Reset()
+	if d.Read(1) != 0 {
+		t.Fatal("Reset did not clear history")
+	}
+	if d.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestCombImpulseResponse(t *testing.T) {
+	c := NewComb(4, 0.5, 0)
+	// Impulse: output is delayed copies with geometric decay.
+	var out []float64
+	out = append(out, c.ProcessSample(1))
+	for i := 0; i < 15; i++ {
+		out = append(out, c.ProcessSample(0))
+	}
+	// y[4] = 1, y[8] = 0.5, y[12] = 0.25.
+	if math.Abs(out[4]-1) > 1e-12 || math.Abs(out[8]-0.5) > 1e-12 || math.Abs(out[12]-0.25) > 1e-12 {
+		t.Fatalf("comb impulse response wrong: %v", out)
+	}
+	c.Reset()
+	if c.ProcessSample(0) != 0 {
+		t.Fatal("comb reset failed")
+	}
+}
+
+func TestAllPassDelayEnergyPreserving(t *testing.T) {
+	a := NewAllPassDelay(5, 0.5)
+	in := synth.WhiteNoise(8192, 0.7, 4)
+	inE := 0.0
+	outE := 0.0
+	for _, x := range in {
+		inE += x * x
+		y := a.ProcessSample(x)
+		outE += y * y
+	}
+	// All-pass: asymptotically equal energy (allow a few percent for edge).
+	if math.Abs(inE-outE)/inE > 0.05 {
+		t.Fatalf("all-pass energy mismatch: in %v out %v", inE, outE)
+	}
+	a.Reset()
+}
+
+func TestLimiterCeiling(t *testing.T) {
+	l := NewLimiter(0.5, 1, 1000, 44100)
+	buf := make([]float64, 4096)
+	for i := range buf {
+		buf[i] = math.Sin(2*math.Pi*float64(i)/50) * 2 // peaks at 2.0
+	}
+	l.Process(buf)
+	// After the 1-sample attack settles, nothing should exceed threshold
+	// noticeably.
+	for i := 64; i < len(buf); i++ {
+		if math.Abs(buf[i]) > 0.55 {
+			t.Fatalf("limited sample %d = %v, want <= ~0.5", i, buf[i])
+		}
+	}
+	if g := l.Gain(); g <= 0 || g > 1 {
+		t.Fatalf("limiter gain = %v", g)
+	}
+	l.Reset()
+	if l.Gain() != 1 {
+		t.Fatal("Reset did not restore unity gain")
+	}
+}
+
+func TestLimiterTransparentBelowThreshold(t *testing.T) {
+	l := NewLimiter(0.9, 8, 800, 44100)
+	in := synth.SineBuffer(440, 2048, 44100)
+	for i := range in {
+		in[i] *= 0.3
+	}
+	buf := make([]float64, len(in))
+	copy(buf, in)
+	l.Process(buf)
+	for i := range buf {
+		if math.Abs(buf[i]-in[i]) > 1e-9 {
+			t.Fatalf("limiter altered sub-threshold signal at %d: %v vs %v", i, buf[i], in[i])
+		}
+	}
+}
+
+func TestHardClip(t *testing.T) {
+	buf := []float64{0.5, 1.5, -2, 0.9, -0.95}
+	n := HardClip(buf, 1)
+	if n != 2 {
+		t.Fatalf("clipped count = %d, want 2", n)
+	}
+	want := []float64{0.5, 1, -1, 0.9, -0.95}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("HardClip gave %v, want %v", buf, want)
+		}
+	}
+}
+
+func TestSoftClipBoundedAndMonotone(t *testing.T) {
+	// Output is bounded by 1/tanh(drive) (unity is hit exactly at x = ±1).
+	bound := 1/math.Tanh(2) + 1e-9
+	f := func(x float64) bool {
+		buf := []float64{x}
+		SoftClip(buf, 2)
+		return buf[0] >= -bound && buf[0] <= bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Unity at +-1 for normalized tanh drive.
+	buf := []float64{1, -1, 0}
+	SoftClip(buf, 3)
+	if math.Abs(buf[0]-1) > 1e-12 || math.Abs(buf[1]+1) > 1e-12 || buf[2] != 0 {
+		t.Fatalf("SoftClip normalization wrong: %v", buf)
+	}
+	// Zero drive falls back to 1.
+	b2 := []float64{0.5}
+	SoftClip(b2, 0)
+	if math.IsNaN(b2[0]) {
+		t.Fatal("SoftClip(0 drive) produced NaN")
+	}
+}
+
+func TestEnvelopeFollower(t *testing.T) {
+	e := NewEnvelopeFollower(4, 400)
+	// Feed a constant 1: level should approach 1.
+	for i := 0; i < 100; i++ {
+		e.ProcessSample(1)
+	}
+	if l := e.Level(); l < 0.99 {
+		t.Fatalf("attack level = %v, want ~1", l)
+	}
+	// Release: decays slowly.
+	for i := 0; i < 100; i++ {
+		e.ProcessSample(0)
+	}
+	if l := e.Level(); l < 0.5 || l >= 1 {
+		t.Fatalf("release level after 100 samples = %v, want slow decay", l)
+	}
+	e.Reset()
+	if e.Level() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestEqualPowerPan(t *testing.T) {
+	l, r := EqualPowerPan(0)
+	if math.Abs(l-r) > 1e-12 || math.Abs(l*l+r*r-1) > 1e-12 {
+		t.Fatalf("center pan gains %v %v", l, r)
+	}
+	l, r = EqualPowerPan(-1)
+	if math.Abs(l-1) > 1e-12 || math.Abs(r) > 1e-12 {
+		t.Fatalf("hard left gains %v %v", l, r)
+	}
+	l, r = EqualPowerPan(2) // clamps to +1
+	if math.Abs(r-1) > 1e-12 || math.Abs(l) > 1e-12 {
+		t.Fatalf("hard right gains %v %v", l, r)
+	}
+}
+
+func TestCrossfadeConstantPower(t *testing.T) {
+	f := func(x float64) bool {
+		x = math.Abs(math.Mod(x, 1))
+		a, b := CrossfadeGains(x)
+		return math.Abs(a*a+b*b-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	a, b := CrossfadeGains(0)
+	if a != 1 || b != 0 {
+		t.Fatalf("x=0 gains %v %v", a, b)
+	}
+	a, b = CrossfadeGains(5)
+	if math.Abs(b-1) > 1e-12 || math.Abs(a) > 1e-12 {
+		t.Fatalf("clamped x=5 gains %v %v", a, b)
+	}
+}
+
+func TestFaderCurve(t *testing.T) {
+	if FaderCurve(-1) != 0 || FaderCurve(2) != 1 {
+		t.Fatal("FaderCurve clamp failed")
+	}
+	if FaderCurve(0.5) != 0.25 {
+		t.Fatalf("FaderCurve(0.5) = %v", FaderCurve(0.5))
+	}
+}
+
+func TestSmoothedGainRampsWithoutJump(t *testing.T) {
+	s := NewSmoothedGain(0)
+	buf := make([]float64, 100)
+	for i := range buf {
+		buf[i] = 1
+	}
+	s.Apply(buf, 1) // first call snaps to target
+	if s.Current() != 1 {
+		t.Fatalf("Current = %v, want 1", s.Current())
+	}
+	for i := range buf {
+		buf[i] = 1
+	}
+	s.Apply(buf, 0) // ramp from 1 to 0
+	// Monotone non-increasing ramp.
+	for i := 1; i < len(buf); i++ {
+		if buf[i] > buf[i-1]+1e-12 {
+			t.Fatalf("ramp not monotone at %d: %v > %v", i, buf[i], buf[i-1])
+		}
+	}
+	if math.Abs(buf[len(buf)-1]) > 0.02 {
+		t.Fatalf("ramp end = %v, want ~0", buf[len(buf)-1])
+	}
+	// Empty buffer still updates the target.
+	s.Apply(nil, 0.5)
+	if s.Current() != 0.5 {
+		t.Fatalf("Current after empty Apply = %v", s.Current())
+	}
+}
+
+func TestLinearResampleUnityRate(t *testing.T) {
+	src := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	dst := make([]float64, 4)
+	pos := LinearResample(dst, src, 0, 1)
+	if pos != 4 {
+		t.Fatalf("pos = %v, want 4", pos)
+	}
+	for i := range dst {
+		if dst[i] != float64(i) {
+			t.Fatalf("dst = %v", dst)
+		}
+	}
+}
+
+func TestLinearResampleHalfRate(t *testing.T) {
+	src := []float64{0, 2, 4, 6}
+	dst := make([]float64, 6)
+	LinearResample(dst, src, 0, 0.5)
+	want := []float64{0, 1, 2, 3, 4, 5}
+	for i := range want {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestLinearResamplePastEnd(t *testing.T) {
+	src := []float64{1, 1}
+	dst := make([]float64, 5)
+	LinearResample(dst, src, 0, 1)
+	if dst[0] != 1 || dst[1] != 1 {
+		t.Fatalf("in-range samples wrong: %v", dst)
+	}
+	for i := 2; i < 5; i++ {
+		if dst[i] != 0 {
+			t.Fatalf("past-end sample %d = %v, want 0", i, dst[i])
+		}
+	}
+}
+
+func TestCubicResampleInterpolatesLinearSignalExactly(t *testing.T) {
+	// Catmull-Rom reproduces linear ramps exactly (away from edges).
+	src := make([]float64, 32)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	dst := make([]float64, 20)
+	CubicResample(dst, src, 2, 0.75)
+	for i := range dst {
+		want := 2 + 0.75*float64(i)
+		if math.Abs(dst[i]-want) > 1e-9 {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want)
+		}
+	}
+}
+
+func TestCubicResampleEdges(t *testing.T) {
+	src := []float64{1, 2}
+	dst := make([]float64, 6)
+	CubicResample(dst, src, 0, 1)
+	for i := 2; i < len(dst); i++ {
+		if dst[i] != 0 {
+			t.Fatalf("past-end cubic sample %d = %v", i, dst[i])
+		}
+	}
+	// Empty source is safe.
+	CubicResample(dst, nil, 0, 1)
+}

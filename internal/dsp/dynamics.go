@@ -1,0 +1,121 @@
+package dsp
+
+import "math"
+
+// Limiter is a feed-forward peak limiter with exponential attack/release
+// gain smoothing, used by the AudioOut1 and RecordBuffer nodes ("Limiter,
+// Clip" in Fig. 3) to guarantee the packet never exceeds the threshold by
+// more than the attack lag allows.
+type Limiter struct {
+	// Threshold is the linear ceiling (e.g. 0.98).
+	Threshold float64
+	attack    float64 // per-sample smoothing coefficient when reducing gain
+	release   float64 // per-sample smoothing coefficient when recovering
+	gain      float64 // current smoothed gain
+}
+
+// NewLimiter returns a limiter with the given linear threshold and
+// attack/release time constants in samples.
+func NewLimiter(threshold float64, attackSamples, releaseSamples float64, _ int) *Limiter {
+	l := &Limiter{Threshold: threshold, gain: 1}
+	l.attack = coefForSamples(attackSamples)
+	l.release = coefForSamples(releaseSamples)
+	return l
+}
+
+// coefForSamples converts a time constant in samples to a one-pole
+// smoothing coefficient.
+func coefForSamples(samples float64) float64 {
+	if samples <= 0 {
+		return 0
+	}
+	return math.Exp(-1 / samples)
+}
+
+// Reset restores unity gain.
+func (l *Limiter) Reset() { l.gain = 1 }
+
+// Gain returns the current smoothed gain (for metering).
+func (l *Limiter) Gain() float64 { return l.gain }
+
+// Process limits buf in place.
+func (l *Limiter) Process(buf []float64) {
+	th := l.Threshold
+	g := l.gain
+	for i, x := range buf {
+		target := 1.0
+		if a := math.Abs(x); a*g > th && a > 0 {
+			target = th / a
+		}
+		coef := l.release
+		if target < g {
+			coef = l.attack
+		}
+		g = target + (g-target)*coef
+		buf[i] = x * g
+	}
+	l.gain = g
+}
+
+// HardClip clamps buf to [-ceiling, ceiling] in place and returns the
+// number of clipped samples. This is the final safety stage after the
+// limiter.
+func HardClip(buf []float64, ceiling float64) int {
+	clipped := 0
+	for i, x := range buf {
+		if x > ceiling {
+			buf[i] = ceiling
+			clipped++
+		} else if x < -ceiling {
+			buf[i] = -ceiling
+			clipped++
+		}
+	}
+	return clipped
+}
+
+// SoftClip applies a tanh-style saturator with the given drive, in place.
+// Used by the bit-crusher and as a musical overload stage.
+func SoftClip(buf []float64, drive float64) {
+	if drive <= 0 {
+		drive = 1
+	}
+	norm := math.Tanh(drive)
+	for i, x := range buf {
+		buf[i] = math.Tanh(x*drive) / norm
+	}
+}
+
+// EnvelopeFollower tracks the rectified signal level with separate attack
+// and release smoothing; drives meters and the gater effect.
+type EnvelopeFollower struct {
+	attack  float64
+	release float64
+	level   float64
+}
+
+// NewEnvelopeFollower returns a follower with the given attack and release
+// time constants in samples.
+func NewEnvelopeFollower(attackSamples, releaseSamples float64) *EnvelopeFollower {
+	return &EnvelopeFollower{
+		attack:  coefForSamples(attackSamples),
+		release: coefForSamples(releaseSamples),
+	}
+}
+
+// ProcessSample consumes one sample and returns the current level.
+func (e *EnvelopeFollower) ProcessSample(x float64) float64 {
+	a := math.Abs(x)
+	coef := e.release
+	if a > e.level {
+		coef = e.attack
+	}
+	e.level = a + (e.level-a)*coef
+	return e.level
+}
+
+// Level returns the current envelope value.
+func (e *EnvelopeFollower) Level() float64 { return e.level }
+
+// Reset zeroes the envelope.
+func (e *EnvelopeFollower) Reset() { e.level = 0 }

@@ -1,0 +1,141 @@
+package effects
+
+import (
+	"math"
+	"testing"
+
+	"djstar/internal/audio"
+	"djstar/internal/synth"
+)
+
+func TestAutoPanSweepsChannels(t *testing.T) {
+	a := NewAutoPan(rate)
+	a.SetWet(1)
+	a.SetMacro(1) // fastest sweep (~8 Hz)
+	// Feed a constant mono tone for half a second; track per-packet
+	// channel energy — both sides must win at some point.
+	var leftWins, rightWins bool
+	for p := 0; p < rate/2/audio.PacketSize; p++ {
+		buf := audio.NewStereo(audio.PacketSize)
+		for i := range buf.L {
+			buf.L[i] = 0.5
+			buf.R[i] = 0.5
+		}
+		a.Process(buf)
+		le := audio.Buffer(buf.L).Energy()
+		re := audio.Buffer(buf.R).Energy()
+		if le > re*2 {
+			leftWins = true
+		}
+		if re > le*2 {
+			rightWins = true
+		}
+	}
+	if !leftWins || !rightWins {
+		t.Fatalf("pan never reached both sides (left %v right %v)", leftWins, rightWins)
+	}
+	a.Reset()
+}
+
+func TestAutoPanPreservesPowerRoughly(t *testing.T) {
+	a := NewAutoPan(rate)
+	a.SetWet(1)
+	a.SetMacro(0.5)
+	var inE, outE float64
+	for p := 0; p < 200; p++ {
+		buf := audio.NewStereo(audio.PacketSize)
+		tone := synth.SineBuffer(440, audio.PacketSize, rate)
+		copy(buf.L, tone)
+		copy(buf.R, tone)
+		inE += buf.L.Energy() + buf.R.Energy()
+		a.Process(buf)
+		outE += buf.L.Energy() + buf.R.Energy()
+	}
+	if math.Abs(outE-inE)/inE > 0.25 {
+		t.Fatalf("autopan power drifted: in %v out %v", inE, outE)
+	}
+}
+
+func TestBrakeWindsDownToSilence(t *testing.T) {
+	b := NewBrake(rate)
+	b.SetMacro(1) // fastest stop (~0.1 s)
+	b.SetWet(1)   // engage
+	tone := func() audio.Stereo {
+		s := audio.NewStereo(audio.PacketSize)
+		copy(s.L, synth.SineBuffer(880, audio.PacketSize, rate))
+		copy(s.R, s.L)
+		return s
+	}
+	var first, last float64
+	packets := rate / 4 / audio.PacketSize // 250 ms, past the stop time
+	for p := 0; p < packets; p++ {
+		buf := tone()
+		b.Process(buf)
+		if p == 0 {
+			first = buf.RMS()
+		}
+		if p == packets-1 {
+			last = buf.RMS()
+		}
+	}
+	if first == 0 {
+		t.Fatal("brake silenced audio immediately")
+	}
+	if last > first/20 {
+		t.Fatalf("brake did not stop: first RMS %v, last %v", first, last)
+	}
+}
+
+func TestBrakeDropsPitchWhileStopping(t *testing.T) {
+	b := NewBrake(rate)
+	b.SetMacro(0) // slow 2 s stop: pitch glides down
+	b.SetWet(1)
+	var out []float64
+	for p := 0; p < rate/2/audio.PacketSize; p++ {
+		buf := audio.NewStereo(audio.PacketSize)
+		copy(buf.L, synth.SineBuffer(880, audio.PacketSize, rate))
+		copy(buf.R, buf.L)
+		b.Process(buf)
+		out = append(out, buf.L...)
+	}
+	freqOf := func(seg []float64) float64 {
+		crossings := 0
+		for i := 1; i < len(seg); i++ {
+			if (seg[i-1] < 0 && seg[i] >= 0) || (seg[i-1] > 0 && seg[i] <= 0) {
+				crossings++
+			}
+		}
+		return float64(crossings) / 2 / (float64(len(seg)) / rate)
+	}
+	early := freqOf(out[:len(out)/4])
+	late := freqOf(out[3*len(out)/4:])
+	if late >= early*0.95 {
+		t.Fatalf("pitch did not drop: early %v Hz, late %v Hz", early, late)
+	}
+}
+
+func TestBrakeReleasesBackToLive(t *testing.T) {
+	b := NewBrake(rate)
+	b.SetMacro(1)
+	b.SetWet(1)
+	feed := func(packets int) float64 {
+		var rms float64
+		for p := 0; p < packets; p++ {
+			buf := audio.NewStereo(audio.PacketSize)
+			copy(buf.L, synth.SineBuffer(440, audio.PacketSize, rate))
+			copy(buf.R, buf.L)
+			b.Process(buf)
+			rms = buf.RMS()
+		}
+		return rms
+	}
+	stopped := feed(rate / 4 / audio.PacketSize)
+	if stopped > 0.01 {
+		t.Fatalf("not stopped: %v", stopped)
+	}
+	b.SetWet(0) // release
+	playing := feed(rate / 4 / audio.PacketSize)
+	if playing < 0.1 {
+		t.Fatalf("did not spin back up: RMS %v", playing)
+	}
+}

@@ -1,0 +1,363 @@
+// Package engine drives the audio processing cycle (APC). Following the
+// paper's decomposition (§VI):
+//
+//	T(APC) = T(TP) + T(GP) + T(Graph) + T(VC)
+//
+// where TP is timecode processing (decoding the control-vinyl signal of
+// each deck), GP is graph preprocessing (pulling one packet per deck
+// through the time stretcher and refreshing per-cycle state), Graph is
+// the task-graph execution under the selected scheduling strategy, and VC
+// is various calculations (master tempo, accounting). The sound card
+// requests one packet every 2.902 ms; TP+GP+VC average ~0.8 ms in the
+// paper, leaving T(Graph) ≤ 2.1 ms as the real-time budget.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"djstar/internal/audio"
+	"djstar/internal/graph"
+	"djstar/internal/sched"
+	"djstar/internal/stats"
+	"djstar/internal/timecode"
+)
+
+// Paper-scale component cost targets in µs (§III-B profile: of the APC,
+// preprocessing 33 %, graph 38 %, timecode 16 %, remainder ~13 %; with
+// the graph at ~0.45 ms that puts the APC near 1.2 ms).
+const (
+	targetTPUS = 190.0
+	targetGPUS = 400.0
+	targetVCUS = 150.0
+)
+
+// DeadlineMS is the hard APC deadline: one packet period, 2.902 ms.
+var DeadlineMS = float64(audio.StandardPacketPeriod) / 1e6
+
+// GraphBudgetMS is the paper's derived budget for graph execution alone.
+const GraphBudgetMS = 2.1
+
+// Config configures an engine instance.
+type Config struct {
+	// Graph configures the task graph and session (see graph.Config).
+	Graph graph.Config
+	// Strategy is the scheduling strategy name (sched.Name*).
+	Strategy string
+	// Threads is the worker count for parallel strategies.
+	Threads int
+	// CollectSamples retains per-cycle timing samples in the metrics
+	// (needed for histograms; costs 8 bytes × cycles × 2).
+	CollectSamples bool
+	// DVS couples deck tempos to the decoded timecode signal, exercising
+	// the decode → control path end to end.
+	DVS bool
+	// DisableGC turns the garbage collector off during timed runs
+	// (re-enabled on Close), removing GC pauses from the distribution —
+	// see DESIGN.md §6 on busy-wait fidelity in Go.
+	DisableGC bool
+}
+
+// Engine owns a session, a compiled plan, a scheduler and the timecode
+// front end.
+type Engine struct {
+	cfg     Config
+	session *graph.Session
+	plan    *graph.Plan
+	sched   sched.Scheduler
+
+	seq     *timecode.Sequence
+	tcGen   []*timecode.Generator
+	tcDec   []*timecode.Decoder
+	tcL     []audio.Buffer
+	tcR     []audio.Buffer
+	tcSpeed []float64
+
+	tpLoad graph.Load
+	gpLoad graph.Load
+	vcLoad graph.Load
+
+	masterTempo float64
+	prevGC      int
+	closed      bool
+}
+
+// sharedSequence is built once per process; it is deterministic and
+// read-only after construction.
+var sharedSequence = timecode.NewSequence()
+
+// New builds an engine. The graph config's Scale/Calibration also govern
+// the TP/GP/VC top-up loads.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Strategy == "" {
+		cfg.Strategy = sched.NameBusyWait
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	session, g, err := graph.BuildDJStar(cfg.Graph)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := g.Compile()
+	if err != nil {
+		return nil, err
+	}
+	threads := cfg.Threads
+	if cfg.Strategy == sched.NameSequential {
+		threads = 1
+	}
+	scheduler, err := sched.New(cfg.Strategy, plan, threads)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		cfg:         cfg,
+		session:     session,
+		plan:        plan,
+		sched:       scheduler,
+		seq:         sharedSequence,
+		masterTempo: 1,
+	}
+
+	// Timecode front end: one virtual turntable per deck, spinning at the
+	// deck's nominal tempo.
+	speeds := []float64{1.0, 0.97, 1.03, 0.99}
+	for d := 0; d < cfg.Graph.Decks; d++ {
+		gen := timecode.NewGenerator(e.seq, cfg.Graph.Rate)
+		gen.SetSpeed(speeds[d%len(speeds)])
+		gen.Seek(float64(1000 * (d + 1)))
+		e.tcGen = append(e.tcGen, gen)
+		e.tcDec = append(e.tcDec, timecode.NewDecoder(e.seq, cfg.Graph.Rate))
+		e.tcL = append(e.tcL, audio.NewBuffer(audio.PacketSize))
+		e.tcR = append(e.tcR, audio.NewBuffer(audio.PacketSize))
+		e.tcSpeed = append(e.tcSpeed, speeds[d%len(speeds)])
+	}
+
+	e.tpLoad = graph.NewLoad(graph.Cost{BaseUS: targetTPUS}, cfg.Graph.Calibration, cfg.Graph.Scale)
+	e.gpLoad = graph.NewLoad(graph.Cost{BaseUS: targetGPUS}, cfg.Graph.Calibration, cfg.Graph.Scale)
+	e.vcLoad = graph.NewLoad(graph.Cost{BaseUS: targetVCUS}, cfg.Graph.Calibration, cfg.Graph.Scale)
+
+	if cfg.DisableGC {
+		runtime.GC()
+		e.prevGC = debug.SetGCPercent(-1)
+	}
+	return e, nil
+}
+
+// Session exposes the audio session (decks, mixer, FX) for live control.
+func (e *Engine) Session() *graph.Session { return e.session }
+
+// Plan exposes the compiled task graph.
+func (e *Engine) Plan() *graph.Plan { return e.plan }
+
+// Scheduler exposes the active scheduler (e.g. to install a tracer).
+func (e *Engine) Scheduler() sched.Scheduler { return e.sched }
+
+// Close releases the scheduler workers and restores the GC setting.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.sched.Close()
+	if e.cfg.DisableGC {
+		debug.SetGCPercent(e.prevGC)
+	}
+}
+
+// Metrics aggregates the timing results of a run.
+type Metrics struct {
+	Strategy string
+	Threads  int
+	Cycles   int
+
+	// Per-component timing summaries in milliseconds.
+	TP, GP, Graph, VC, APC *stats.Summary
+
+	// Deadline tracks APC times against the 2.9 ms packet period.
+	Deadline *stats.DeadlineTracker
+	// GraphDeadline tracks graph times against the 2.1 ms budget.
+	GraphDeadline *stats.DeadlineTracker
+
+	// GraphSamplesMS and APCSamplesMS hold per-cycle times when sample
+	// collection is enabled (for histograms and percentiles).
+	GraphSamplesMS []float64
+	APCSamplesMS   []float64
+}
+
+func newMetrics(strategy string, threads int) *Metrics {
+	return &Metrics{
+		Strategy:      strategy,
+		Threads:       threads,
+		TP:            stats.NewSummary(),
+		GP:            stats.NewSummary(),
+		Graph:         stats.NewSummary(),
+		VC:            stats.NewSummary(),
+		APC:           stats.NewSummary(),
+		Deadline:      stats.NewDeadlineTracker(DeadlineMS),
+		GraphDeadline: stats.NewDeadlineTracker(GraphBudgetMS),
+	}
+}
+
+// String summarizes the run.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("%s/%d: %d cycles, graph mean %.4f ms (max %.4f), APC mean %.4f ms, misses %d/%d",
+		m.Strategy, m.Threads, m.Cycles, m.Graph.Mean(), m.Graph.Max(),
+		m.APC.Mean(), m.Deadline.Missed(), m.Deadline.Total())
+}
+
+// RunCycles executes n audio processing cycles back to back (as fast as
+// the machine allows) and returns the timing metrics. This is the
+// evaluation mode: the paper's numbers are execution times per cycle, not
+// wall-clock pacing.
+func (e *Engine) RunCycles(n int) *Metrics {
+	m := newMetrics(e.sched.Name(), e.sched.Threads())
+	if e.cfg.CollectSamples {
+		m.GraphSamplesMS = make([]float64, 0, n)
+		m.APCSamplesMS = make([]float64, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		e.Cycle(m)
+	}
+	return m
+}
+
+// Cycle executes one APC, accumulating into m (which may be nil).
+func (e *Engine) Cycle(m *Metrics) {
+	t0 := time.Now()
+
+	// TP: timecode processing. Generate each turntable's control packet
+	// (the hardware substitution) and decode it; when DVS control is on,
+	// the decoded speed drives the deck tempo.
+	e.timecodeStage()
+	t1 := time.Now()
+
+	// GP: graph preprocessing — deck packets through the time stretcher,
+	// activity flags, sampler state.
+	gpStart := graph.NowNanos()
+	e.session.Prepare()
+	e.gpLoad.RunSince(gpStart, false)
+	t2 := time.Now()
+
+	// Graph: the task graph under the configured scheduling strategy.
+	e.sched.Execute()
+	t3 := time.Now()
+
+	// VC: various calculations (master tempo smoothing, accounting).
+	e.variousCalculations()
+	t4 := time.Now()
+
+	if m == nil {
+		return
+	}
+	tp := t1.Sub(t0).Seconds() * 1e3
+	gp := t2.Sub(t1).Seconds() * 1e3
+	gr := t3.Sub(t2).Seconds() * 1e3
+	vc := t4.Sub(t3).Seconds() * 1e3
+	apc := t4.Sub(t0).Seconds() * 1e3
+	m.Cycles++
+	m.TP.Add(tp)
+	m.GP.Add(gp)
+	m.Graph.Add(gr)
+	m.VC.Add(vc)
+	m.APC.Add(apc)
+	m.Deadline.Add(apc)
+	m.GraphDeadline.Add(gr)
+	if e.cfg.CollectSamples {
+		m.GraphSamplesMS = append(m.GraphSamplesMS, gr)
+		m.APCSamplesMS = append(m.APCSamplesMS, apc)
+	}
+}
+
+// timecodeStage runs the TP component for all decks.
+func (e *Engine) timecodeStage() {
+	start := graph.NowNanos()
+	for d := range e.tcGen {
+		e.tcGen[d].Generate(e.tcL[d], e.tcR[d])
+		e.tcDec[d].Decode(e.tcL[d], e.tcR[d])
+		if e.cfg.DVS && e.tcDec[d].Locked() {
+			if sp := e.tcDec[d].Speed(); sp > 0 {
+				e.session.Decks[d].SetTempo(sp)
+			}
+		}
+	}
+	e.tpLoad.RunSince(start, false)
+}
+
+// variousCalculations runs the VC component.
+func (e *Engine) variousCalculations() {
+	start := graph.NowNanos()
+	// Master tempo: smoothed average of the playing decks.
+	sum, cnt := 0.0, 0
+	for _, d := range e.session.Decks {
+		if d.Playing() {
+			sum += d.Tempo()
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		e.masterTempo += 0.05 * (sum/float64(cnt) - e.masterTempo)
+	}
+	e.vcLoad.RunSince(start, false)
+}
+
+// MasterTempo returns the smoothed master tempo.
+func (e *Engine) MasterTempo() float64 { return e.masterTempo }
+
+// TimecodeLocked reports whether deck d's decoder has a position fix.
+func (e *Engine) TimecodeLocked(d int) bool { return e.tcDec[d].Locked() }
+
+// SetTurntableSpeed changes virtual turntable d's speed (scratching).
+func (e *Engine) SetTurntableSpeed(d int, speed float64) {
+	if d >= 0 && d < len(e.tcGen) {
+		e.tcGen[d].SetSpeed(speed)
+	}
+}
+
+// RealtimeReport is the outcome of a paced RunRealtime session.
+type RealtimeReport struct {
+	Metrics *Metrics
+	// Late counts packets whose computation finished after the sound
+	// card's request time — the glitches a listener would hear.
+	Late int
+	// MaxLatenessMS is the worst overrun.
+	MaxLatenessMS float64
+}
+
+// RunRealtime paces cycles against the simulated sound card clock: cycle
+// i must complete by (i+1) packet periods after start. It runs for the
+// given number of cycles and reports deadline behaviour under real
+// pacing. The pacing loop spins (like the audio callback thread of a
+// low-latency audio stack) rather than sleeping.
+func (e *Engine) RunRealtime(n int) *RealtimeReport {
+	m := newMetrics(e.sched.Name(), e.sched.Threads())
+	if e.cfg.CollectSamples {
+		m.GraphSamplesMS = make([]float64, 0, n)
+		m.APCSamplesMS = make([]float64, 0, n)
+	}
+	rep := &RealtimeReport{Metrics: m}
+	period := audio.StandardPacketPeriod
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		due := start.Add(time.Duration(i+1) * period)
+		e.Cycle(m)
+		now := time.Now()
+		if now.After(due) {
+			rep.Late++
+			if late := now.Sub(due).Seconds() * 1e3; late > rep.MaxLatenessMS {
+				rep.MaxLatenessMS = late
+			}
+		} else {
+			// Wait for the next packet request (spin, as an audio callback
+			// would effectively do between interrupts).
+			for time.Now().Before(due) {
+				runtime.Gosched()
+			}
+		}
+	}
+	return rep
+}

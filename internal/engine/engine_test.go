@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"djstar/internal/graph"
+	"djstar/internal/sched"
+)
+
+// fastConfig returns an engine config with no synthetic load (pure DSP).
+func fastConfig(strategy string, threads int) Config {
+	gc := graph.DefaultConfig()
+	gc.TrackBars = 2
+	return Config{
+		Graph:          gc,
+		Strategy:       strategy,
+		Threads:        threads,
+		CollectSamples: true,
+	}
+}
+
+func TestEngineRunCycles(t *testing.T) {
+	e, err := New(fastConfig(sched.NameBusyWait, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	m := e.RunCycles(100)
+	if m.Cycles != 100 {
+		t.Fatalf("cycles = %d", m.Cycles)
+	}
+	if m.Graph.N() != 100 || m.APC.N() != 100 {
+		t.Fatal("summaries incomplete")
+	}
+	if m.Graph.Mean() <= 0 || m.APC.Mean() <= m.Graph.Mean() {
+		t.Fatalf("component means inconsistent: graph %v APC %v",
+			m.Graph.Mean(), m.APC.Mean())
+	}
+	if len(m.GraphSamplesMS) != 100 || len(m.APCSamplesMS) != 100 {
+		t.Fatal("samples not collected")
+	}
+	if !strings.Contains(m.String(), "busy/4") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestEngineComponentsSumToAPC(t *testing.T) {
+	e, err := New(fastConfig(sched.NameSequential, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	m := e.RunCycles(50)
+	sum := m.TP.Mean() + m.GP.Mean() + m.Graph.Mean() + m.VC.Mean()
+	if math.Abs(sum-m.APC.Mean())/m.APC.Mean() > 0.05 {
+		t.Fatalf("TP+GP+Graph+VC = %v, APC = %v", sum, m.APC.Mean())
+	}
+}
+
+func TestEngineAllStrategies(t *testing.T) {
+	for _, name := range sched.Strategies {
+		e, err := New(fastConfig(name, 4))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m := e.RunCycles(30)
+		if m.Cycles != 30 {
+			t.Fatalf("%s: %d cycles", name, m.Cycles)
+		}
+		if m.Strategy != name {
+			t.Fatalf("metrics strategy %q, want %q", m.Strategy, name)
+		}
+		e.Close()
+	}
+}
+
+func TestEngineDefaultsApplied(t *testing.T) {
+	gc := graph.DefaultConfig()
+	gc.TrackBars = 2
+	e, err := New(Config{Graph: gc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Scheduler().Name() != sched.NameBusyWait {
+		t.Fatalf("default strategy = %s", e.Scheduler().Name())
+	}
+	if e.Scheduler().Threads() != 4 {
+		t.Fatalf("default threads = %d", e.Scheduler().Threads())
+	}
+	if e.Plan().Len() != 67 {
+		t.Fatalf("plan size = %d", e.Plan().Len())
+	}
+	if e.Session() == nil {
+		t.Fatal("session nil")
+	}
+}
+
+func TestEngineRejectsBadConfig(t *testing.T) {
+	gc := graph.DefaultConfig()
+	gc.Decks = 0
+	if _, err := New(Config{Graph: gc}); err == nil {
+		t.Fatal("bad graph config accepted")
+	}
+	gc = graph.DefaultConfig()
+	gc.TrackBars = 2
+	if _, err := New(Config{Graph: gc, Strategy: "bogus"}); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+}
+
+func TestTimecodeLockAndDVS(t *testing.T) {
+	cfg := fastConfig(sched.NameSequential, 1)
+	cfg.DVS = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.RunCycles(60) // plenty for a 16-bit position lock
+	for d := 0; d < 4; d++ {
+		if !e.TimecodeLocked(d) {
+			t.Fatalf("deck %d decoder not locked after 60 cycles", d)
+		}
+	}
+	// DVS: deck tempo follows the turntable speed (deck B turns at 0.97).
+	if got := e.Session().Decks[1].Tempo(); math.Abs(got-0.97) > 0.05 {
+		t.Fatalf("deck B tempo %v, want ~0.97 from timecode", got)
+	}
+	// Scratch: slow turntable A down and verify the deck follows.
+	e.SetTurntableSpeed(0, 0.6)
+	e.RunCycles(80)
+	if got := e.Session().Decks[0].Tempo(); math.Abs(got-0.6) > 0.08 {
+		t.Fatalf("deck A tempo %v, want ~0.6 after scratch", got)
+	}
+	// Out-of-range deck index is a no-op.
+	e.SetTurntableSpeed(99, 2)
+}
+
+func TestMasterTempoTracksDecks(t *testing.T) {
+	e, err := New(fastConfig(sched.NameSequential, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.RunCycles(300)
+	// Deck tempos: 1.0, 0.97, 1.03, 0.99 -> mean 0.9975.
+	if mt := e.MasterTempo(); math.Abs(mt-0.9975) > 0.01 {
+		t.Fatalf("master tempo = %v, want ~0.9975", mt)
+	}
+}
+
+func TestEngineCycleNilMetrics(t *testing.T) {
+	e, err := New(fastConfig(sched.NameSequential, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Cycle(nil) // must not panic
+}
+
+func TestEngineCloseIdempotent(t *testing.T) {
+	cfg := fastConfig(sched.NameBusyWait, 2)
+	cfg.DisableGC = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunCycles(5)
+	e.Close()
+	e.Close() // second close is a no-op
+}
+
+func TestRunRealtimePacing(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock pacing is meaningless under the race detector's slowdown")
+	}
+	e, err := New(fastConfig(sched.NameBusyWait, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rep := e.RunRealtime(40)
+	if rep.Metrics.Cycles != 40 {
+		t.Fatalf("cycles = %d", rep.Metrics.Cycles)
+	}
+	// At zero synthetic load the machine should keep up comfortably.
+	if rep.Late > 5 {
+		t.Fatalf("%d of 40 paced cycles late", rep.Late)
+	}
+}
+
+func TestMeasureNodeDurations(t *testing.T) {
+	gc := graph.DefaultConfig()
+	gc.TrackBars = 2
+	durs, plan, err := MeasureNodeDurations(gc, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(durs) != plan.Len() {
+		t.Fatalf("%d durations for %d nodes", len(durs), plan.Len())
+	}
+	for i, d := range durs {
+		if d < 0 || math.IsNaN(d) {
+			t.Fatalf("node %d (%s) duration %v", i, plan.Names[i], d)
+		}
+	}
+	// FX nodes must be measurably more expensive than control nodes even
+	// at zero synthetic scale (they run real DSP).
+	var fxSum, ctrlSum float64
+	var fxN, ctrlN int
+	for i, name := range plan.Names {
+		switch {
+		case strings.HasPrefix(name, "FX"):
+			fxSum += durs[i]
+			fxN++
+		case strings.HasPrefix(name, "Ctrl"):
+			ctrlSum += durs[i]
+			ctrlN++
+		}
+	}
+	if fxSum/float64(fxN) <= ctrlSum/float64(ctrlN) {
+		t.Fatalf("FX avg %v not above control avg %v",
+			fxSum/float64(fxN), ctrlSum/float64(ctrlN))
+	}
+	if _, _, err := MeasureNodeDurations(gc, 0); err == nil {
+		t.Fatal("0 cycles accepted")
+	}
+}
+
+func TestEngineHotPathAllocationFree(t *testing.T) {
+	e, err := New(fastConfig(sched.NameBusyWait, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.RunCycles(10) // warm up
+	allocs := testing.AllocsPerRun(100, func() { e.Cycle(nil) })
+	if allocs != 0 {
+		t.Fatalf("Cycle allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose 5-20x slowdown invalidates wall-clock pacing assertions.
+const raceEnabled = true

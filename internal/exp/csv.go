@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV export so the regenerated figures can be re-plotted with external
+// tooling (gnuplot, matplotlib, a spreadsheet).
+
+// WriteSamplesCSV writes per-strategy sample columns (e.g. the Fig. 9/10
+// graph times): header row of strategy names, then one row per cycle.
+// Strategies with fewer samples leave trailing cells empty.
+func WriteSamplesCSV(w io.Writer, samples map[string][]float64, order []string) error {
+	cw := csv.NewWriter(w)
+	header := append([]string(nil), order...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("exp: csv header: %w", err)
+	}
+	maxLen := 0
+	for _, name := range order {
+		if len(samples[name]) > maxLen {
+			maxLen = len(samples[name])
+		}
+	}
+	row := make([]string, len(order))
+	for i := 0; i < maxLen; i++ {
+		for c, name := range order {
+			if i < len(samples[name]) {
+				row[c] = strconv.FormatFloat(samples[name][i], 'g', 9, 64)
+			} else {
+				row[c] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("exp: csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable1CSV writes the Table I matrix: one row per strategy, one
+// column per thread count, preceded by the sequential baseline.
+func WriteTable1CSV(w io.Writer, res *Table1Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"strategy"}
+	for _, t := range res.Threads {
+		header = append(header, fmt.Sprintf("threads_%d_ms", t))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	seqRow := []string{"seq", strconv.FormatFloat(res.SeqMeanMS, 'g', 9, 64)}
+	for range res.Threads[1:] {
+		seqRow = append(seqRow, "")
+	}
+	if err := cw.Write(seqRow); err != nil {
+		return err
+	}
+	for _, name := range ParallelStrategies {
+		row := []string{name}
+		for _, v := range res.MeanMS[name] {
+			row = append(row, strconv.FormatFloat(v, 'g', 9, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,126 @@
+// Package exp implements the evaluation harness: one driver per table and
+// figure of the paper (§IV and §VI). The drivers are shared between the
+// djbench command and the repository's bench_test.go, and each one both
+// returns a structured result (asserted by tests) and writes a human
+// report (the regenerated table/figure) to the configured writer.
+//
+// Experiment index (see DESIGN.md §5):
+//
+//	Table1      — average task-graph response times, 3 strategies × 1–4 threads
+//	Fig4        — simulated optimal schedules (earliest start, 4-core)
+//	Fig8        — speedup over sequential
+//	Fig9/Fig10  — execution-time histograms and cumulative histograms
+//	Fig11       — typical schedule realizations (Gantt)
+//	Fig12       — BUSY strategy simulated vs measured
+//	Deadlines   — misses of the 2.9 ms APC deadline over 10k cycles
+//	Profile     — APC component breakdown (TP/GP/Graph/VC)
+//	ThreadSweep — thread counts beyond four
+//	Ablation    — work-stealing design choices
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"djstar/internal/engine"
+	"djstar/internal/graph"
+	"djstar/internal/sched"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Out receives the rendered report. Required.
+	Out io.Writer
+	// Cycles is the APC iteration count per measurement (paper: 10,000).
+	Cycles int
+	// Scale is the node-cost scale (1.0 = paper scale).
+	Scale float64
+	// MaxThreads bounds the thread sweep for Table 1 (paper: 4).
+	MaxThreads int
+	// TrackBars sizes the synthetic tracks.
+	TrackBars int
+}
+
+// Defaults returns the paper's evaluation settings: 10k cycles at full
+// scale, threads 1..4.
+func Defaults(out io.Writer) Options {
+	return Options{Out: out, Cycles: 10000, Scale: 1.0, MaxThreads: 4, TrackBars: 16}
+}
+
+// Quick returns reduced settings for smoke tests and CI: fewer cycles at
+// a small scale.
+func Quick(out io.Writer) Options {
+	return Options{Out: out, Cycles: 300, Scale: 0.05, MaxThreads: 4, TrackBars: 4}
+}
+
+func (o *Options) normalize() {
+	if o.Cycles <= 0 {
+		o.Cycles = 10000
+	}
+	if o.Scale < 0 {
+		o.Scale = 0
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 4
+	}
+	if o.TrackBars <= 0 {
+		o.TrackBars = 16
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+}
+
+// calibration is measured once per process.
+var (
+	calOnce sync.Once
+	calVal  graph.Calibration
+)
+
+// Calib returns the process-wide spin calibration.
+func Calib() graph.Calibration {
+	calOnce.Do(func() { calVal = graph.Calibrate() })
+	return calVal
+}
+
+// graphConfig builds the standard graph config for the options.
+func (o *Options) graphConfig() graph.Config {
+	cfg := graph.DefaultConfig()
+	cfg.Scale = o.Scale
+	cfg.TrackBars = o.TrackBars
+	if o.Scale > 0 {
+		cfg.Calibration = Calib()
+	}
+	return cfg
+}
+
+// runEngine measures one (strategy, threads) cell.
+func (o *Options) runEngine(strategy string, threads int, collect bool) (*engine.Metrics, error) {
+	cfg := engine.Config{
+		Graph:          o.graphConfig(),
+		Strategy:       strategy,
+		Threads:        threads,
+		CollectSamples: collect,
+		DisableGC:      o.Scale >= 0.5, // full-scale runs measure without GC noise
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	// Warm-up cycles fill delay lines and fault in all memory.
+	for i := 0; i < min(o.Cycles/10+1, 200); i++ {
+		e.Cycle(nil)
+	}
+	return e.RunCycles(o.Cycles), nil
+}
+
+// ParallelStrategies are the three strategies the paper evaluates.
+var ParallelStrategies = []string{sched.NameBusyWait, sched.NameSleep, sched.NameWorkSteal}
+
+// fprintf writes to the report, ignoring errors (reports go to terminals
+// or buffers; a failed diagnostic write must not fail an experiment).
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

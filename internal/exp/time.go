@@ -1,0 +1,8 @@
+package exp
+
+import "time"
+
+// nowMS returns a monotonic timestamp in milliseconds.
+func nowMS() float64 { return time.Since(expBase).Seconds() * 1e3 }
+
+var expBase = time.Now()

@@ -1,0 +1,532 @@
+package graph
+
+import (
+	"fmt"
+
+	"djstar/internal/audio"
+	"djstar/internal/deck"
+	"djstar/internal/dsp"
+	"djstar/internal/effects"
+	"djstar/internal/mixer"
+	"djstar/internal/synth"
+)
+
+// Config parameterizes the standard DJ Star graph. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Rate is the sampling rate (audio.SampleRate by default).
+	Rate int
+	// Decks is the number of active decks, 1..4.
+	Decks int
+	// SPPerDeck is the number of sample-player filter sources per deck.
+	SPPerDeck int
+	// FXPerDeck is the effect chain length per deck, 0..4.
+	FXPerDeck int
+	// ControlNodes is the number of short dependency-free control nodes.
+	ControlNodes int
+	// Meters enables the eight metering nodes.
+	Meters bool
+	// Scale is the global node cost scale: 1.0 reproduces the paper's
+	// microsecond-scale node costs via calibrated spin work; 0 disables
+	// spin work entirely (pure DSP, used by fast unit tests).
+	Scale float64
+	// Calibration converts cost targets to spin units. Required when
+	// Scale > 0.
+	Calibration Calibration
+	// Tracks provides the deck audio. Missing entries are filled with the
+	// standard synthetic tracks.
+	Tracks []*synth.Track
+	// TrackBars sizes the default synthetic tracks (16 bars ≈ 30 s).
+	TrackBars int
+}
+
+// DefaultConfig returns the paper's evaluation configuration: 4 decks,
+// 4 SP sources and 4 effects each, 16 control nodes, meters on — the
+// 67-node graph with 33 sources.
+func DefaultConfig() Config {
+	return Config{
+		Rate:         audio.SampleRate,
+		Decks:        4,
+		SPPerDeck:    4,
+		FXPerDeck:    4,
+		ControlNodes: 16,
+		Meters:       true,
+		Scale:        0,
+		TrackBars:    16,
+	}
+}
+
+func (c *Config) normalize() error {
+	if c.Rate <= 0 {
+		c.Rate = audio.SampleRate
+	}
+	if c.Decks < 1 || c.Decks > 4 {
+		return fmt.Errorf("graph: Decks = %d, want 1..4", c.Decks)
+	}
+	if c.SPPerDeck < 1 || c.SPPerDeck > 4 {
+		return fmt.Errorf("graph: SPPerDeck = %d, want 1..4", c.SPPerDeck)
+	}
+	if c.FXPerDeck < 0 || c.FXPerDeck > 4 {
+		return fmt.Errorf("graph: FXPerDeck = %d, want 0..4", c.FXPerDeck)
+	}
+	if c.ControlNodes < 0 {
+		return fmt.Errorf("graph: ControlNodes = %d, want >= 0", c.ControlNodes)
+	}
+	if c.Scale < 0 {
+		return fmt.Errorf("graph: Scale = %v, want >= 0", c.Scale)
+	}
+	if c.Scale > 0 && c.Calibration.NanosPerUnit <= 0 {
+		return fmt.Errorf("graph: Scale %v requires a Calibration", c.Scale)
+	}
+	if c.TrackBars <= 0 {
+		c.TrackBars = 16
+	}
+	return nil
+}
+
+// Session owns the audio state the DJ Star graph operates on: decks,
+// effect racks, mixer, buses and all packet buffers. All buffers are
+// preallocated; executing the graph does not allocate.
+type Session struct {
+	cfg Config
+
+	// Decks are the track players feeding the graph.
+	Decks []*deck.Deck
+	// Strips are the mixer channel strips, one per deck.
+	Strips []*mixer.ChannelStrip
+	// Mix is the crossfader/master/cue mixer.
+	Mix *mixer.Mixer
+	// Sampler is the one-shot clip player mixed into the master.
+	Sampler *mixer.Sampler
+
+	// FX holds each deck's effect chain; FX[d][j] is unit j of deck d.
+	FX [][]effects.Effect
+
+	deckIn     []audio.Stereo // per deck: preprocessed input packet (GP)
+	active     []bool         // per deck: loud input this cycle
+	spBuf      [][]audio.Stereo
+	spFiltL    [][]*dsp.Biquad
+	spFiltR    [][]*dsp.Biquad
+	deckMix    []audio.Stereo
+	chanInputs []mixer.ChannelInput
+
+	samplerBuf  audio.Stereo
+	masterMix   audio.Stereo
+	masterBuf   audio.Stereo
+	masterMono  audio.Buffer
+	cueBuf      audio.Stereo
+	monitorMono audio.Buffer
+	outBuf      audio.Stereo
+	recordBuf   audio.Stereo
+
+	outStage *mixer.OutputStage
+	recStage *mixer.OutputStage
+
+	deckMeters []*mixer.VUMeter
+	masterVU   *mixer.VUMeter
+	cueVU      *mixer.VUMeter
+	spectrum   *dsp.FFT
+	specRe     []float64
+	specIm     []float64
+	specMag    []float64
+	loudness   float64
+
+	controlState []float64
+
+	cycles int64 // Prepare invocations
+}
+
+// Cycles returns how many times Prepare has run.
+func (s *Session) Cycles() int64 { return s.cycles }
+
+// MasterOut returns the buffer written by the AudioOut1 node (valid after
+// a graph execution).
+func (s *Session) MasterOut() audio.Stereo { return s.outBuf }
+
+// MonitorOut returns the mono monitor buffer.
+func (s *Session) MonitorOut() audio.Buffer { return s.monitorMono }
+
+// RecordOut returns the record-path buffer.
+func (s *Session) RecordOut() audio.Stereo { return s.recordBuf }
+
+// Spectrum returns the magnitude spectrum computed by the Spectrum node.
+func (s *Session) Spectrum() []float64 { return s.specMag }
+
+// Loudness returns the smoothed master loudness.
+func (s *Session) Loudness() float64 { return s.loudness }
+
+// DeckActive reports whether deck d's input was above the activity
+// threshold in the last prepared cycle.
+func (s *Session) DeckActive(d int) bool { return s.active[d] }
+
+// OutputStage exposes the AudioOut1 limiter/clipper for diagnostics.
+func (s *Session) OutputStage() *mixer.OutputStage { return s.outStage }
+
+// activityThreshold is the RMS above which a deck's packet counts as
+// "loud", switching its FX nodes onto the expensive path. The synthetic
+// tracks' loud bars sit well above it, quiet bars well below.
+const activityThreshold = 0.05
+
+// Prepare runs the per-cycle preprocessing stage (GP in the paper's APC
+// decomposition): it pulls one packet from every deck through the time
+// stretcher, updates the activity flags and advances the sampler state.
+// It must be called before each graph execution and never concurrently
+// with one.
+func (s *Session) Prepare() {
+	for d, dk := range s.Decks {
+		dk.ReadPacket(s.deckIn[d])
+		s.active[d] = s.deckIn[d].RMS() > activityThreshold
+	}
+	s.cycles++
+}
+
+// BuildDJStar constructs the standard DJ Star task graph and its session
+// state. The returned Graph is ready to Compile; the Session must have
+// Prepare called once per cycle before executing the compiled plan.
+func BuildDJStar(cfg Config) (*Session, *Graph, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, nil, err
+	}
+	s := newSession(cfg)
+	g := New()
+
+	// add registers a node whose cost is topped up to the target: the
+	// kernel runs the real DSP and returns whether the node's input was
+	// "active" (loud), which selects the data-dependent extra cost.
+	add := func(name string, sec Section, c Cost, kernel func() bool) int {
+		l := NewLoad(c, cfg.Calibration, cfg.Scale)
+		if !l.Enabled() {
+			return g.AddNode(name, sec, func() { kernel() })
+		}
+		return g.AddNode(name, sec, func() {
+			start := nowNanos()
+			active := kernel()
+			l.RunSince(start, active)
+		})
+	}
+
+	deckNames := []string{"A", "B", "C", "D"}
+	channelIDs := make([]int, cfg.Decks)
+
+	for d := 0; d < cfg.Decks; d++ {
+		d := d
+		sec := DeckSection(d)
+		spIDs := make([]int, cfg.SPPerDeck)
+
+		// SP sources: per-band filters over the deck's input packet.
+		for i := 0; i < cfg.SPPerDeck; i++ {
+			i := i
+			spIDs[i] = add(fmt.Sprintf("SP%s%d", deckNames[d], i+1), sec, CostSP, func() bool {
+				buf := s.spBuf[d][i]
+				buf.CopyFrom(s.deckIn[d])
+				s.spFiltL[d][i].Process(buf.L)
+				s.spFiltR[d][i].Process(buf.R)
+				return s.active[d]
+			})
+		}
+
+		// FX chain: FX1 gathers the SP bands, FX2..FXn process in place.
+		prev := -1
+		for j := 0; j < cfg.FXPerDeck; j++ {
+			j := j
+			var kernel func() bool
+			if j == 0 {
+				gain := 1 / float64(cfg.SPPerDeck)
+				kernel = func() bool {
+					mix := s.deckMix[d]
+					mix.Zero()
+					for _, sp := range s.spBuf[d] {
+						mix.AddFrom(sp, gain)
+					}
+					s.FX[d][0].Process(mix)
+					return s.active[d]
+				}
+			} else {
+				kernel = func() bool {
+					s.FX[d][j].Process(s.deckMix[d])
+					return s.active[d]
+				}
+			}
+			id := add(fmt.Sprintf("FX%s%d", deckNames[d], j+1), sec, CostFX, kernel)
+			if j == 0 {
+				for _, sp := range spIDs {
+					mustEdge(g, sp, id)
+				}
+			} else {
+				mustEdge(g, prev, id)
+			}
+			prev = id
+		}
+
+		// Channel strip.
+		{
+			id := add("Channel"+deckNames[d], sec, CostChannel, func() bool {
+				if cfg.FXPerDeck == 0 {
+					// No FX: the channel gathers the SP bands itself.
+					mix := s.deckMix[d]
+					mix.Zero()
+					gain := 1 / float64(cfg.SPPerDeck)
+					for _, sp := range s.spBuf[d] {
+						mix.AddFrom(sp, gain)
+					}
+				}
+				s.Strips[d].Process(s.deckMix[d])
+				return s.active[d]
+			})
+			if prev >= 0 {
+				mustEdge(g, prev, id)
+			} else {
+				for _, sp := range spIDs {
+					mustEdge(g, sp, id)
+				}
+			}
+			channelIDs[d] = id
+		}
+	}
+
+	// Sampler source.
+	samplerID := add("Sampler", SectionMaster, CostSampler, func() bool {
+		s.Sampler.ReadPacket(s.samplerBuf)
+		return s.Sampler.Playing()
+	})
+
+	// Mixer: all channels + sampler.
+	mixerID := add("Mixer", SectionMaster, CostMixer, func() bool {
+		s.Mix.MixInto(s.masterMix, s.chanInputs, s.samplerBuf)
+		return true
+	})
+	for _, ch := range channelIDs {
+		mustEdge(g, ch, mixerID)
+	}
+	mustEdge(g, samplerID, mixerID)
+
+	// Cue buffer (needs the channels and the mixed master for blending).
+	cueID := add("CueBuffer", SectionMaster, CostCue, func() bool {
+		s.Mix.CueInto(s.cueBuf, s.chanInputs, s.masterMix)
+		return true
+	})
+	mustEdge(g, mixerID, cueID)
+
+	// Monitor buffer: mono downmix of the cue bus.
+	monitorID := add("MonitorBuffer", SectionMaster, CostMonitor, func() bool {
+		s.cueBuf.Mono(s.monitorMono)
+		return true
+	})
+	mustEdge(g, cueID, monitorID)
+
+	// Master buffer: snapshot + mono reference of the mix.
+	masterID := add("MasterBuffer", SectionMaster, CostMaster, func() bool {
+		s.masterBuf.CopyFrom(s.masterMix)
+		s.masterBuf.Mono(s.masterMono)
+		return true
+	})
+	mustEdge(g, mixerID, masterID)
+
+	// Output and record paths.
+	outID := add("AudioOut1", SectionMaster, CostOut, func() bool {
+		s.outBuf.CopyFrom(s.masterBuf)
+		s.outStage.Process(s.outBuf)
+		return true
+	})
+	mustEdge(g, masterID, outID)
+
+	recordID := add("RecordBuffer", SectionMaster, CostRecord, func() bool {
+		s.recordBuf.CopyFrom(s.masterBuf)
+		s.recStage.Process(s.recordBuf)
+		return true
+	})
+	mustEdge(g, masterID, recordID)
+
+	// Control sources: short, dependency-free, do not modify audio
+	// (paper: "some have no dependencies and do not modify the audio
+	// packets ... we also included them for a fair average").
+	ctrlKinds := []string{"BeatGrid", "TempoSync", "KeyDisplay", "PhaseMeter"}
+	for i := 0; i < cfg.ControlNodes; i++ {
+		i := i
+		kind := ctrlKinds[i%len(ctrlKinds)]
+		d := i % cfg.Decks
+		add(fmt.Sprintf("Ctrl%s%s", kind, deckNames[d]+suffix(i/len(ctrlKinds))),
+			SectionControl, CostControl, func() bool {
+				// Tiny deterministic state update (beat phase tracking).
+				s.controlState[i] = 0.9*s.controlState[i] + 0.1*s.Decks[d].BeatPhase()
+				return false
+			})
+	}
+
+	// Metering nodes.
+	if cfg.Meters {
+		for d := 0; d < cfg.Decks; d++ {
+			d := d
+			id := add("Meter"+deckNames[d], DeckSection(d), CostMeter, func() bool {
+				s.deckMeters[d].Update(s.deckMix[d])
+				return false
+			})
+			mustEdge(g, channelIDs[d], id)
+		}
+		id := add("MasterVU", SectionMaster, CostMeter, func() bool {
+			s.masterVU.Update(s.masterBuf)
+			return false
+		})
+		mustEdge(g, masterID, id)
+
+		id = add("CueVU", SectionMaster, CostMeter, func() bool {
+			s.cueVU.Update(s.cueBuf)
+			return false
+		})
+		mustEdge(g, cueID, id)
+
+		id = add("Spectrum", SectionMaster, CostMeter, func() bool {
+			n := s.spectrum.Size()
+			for i := 0; i < n; i++ {
+				if i < len(s.masterMono) {
+					s.specRe[i] = s.masterMono[i]
+				} else {
+					s.specRe[i] = 0
+				}
+				s.specIm[i] = 0
+			}
+			s.spectrum.Transform(s.specRe, s.specIm)
+			dsp.Magnitudes(s.specRe, s.specIm, s.specMag)
+			return false
+		})
+		mustEdge(g, masterID, id)
+
+		id = add("Loudness", SectionMaster, CostMeter, func() bool {
+			s.loudness = 0.95*s.loudness + 0.05*s.masterBuf.RMS()
+			return false
+		})
+		mustEdge(g, masterID, id)
+	}
+
+	return s, g, nil
+}
+
+// suffix distinguishes repeated control nodes ("", "2", "3", ...).
+func suffix(i int) string {
+	if i == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d", i+1)
+}
+
+func mustEdge(g *Graph, from, to int) {
+	if err := g.AddEdge(from, to); err != nil {
+		panic(err) // builder bug: indices are generated locally
+	}
+}
+
+// newSession allocates all state and buffers for the configuration.
+func newSession(cfg Config) *Session {
+	n := audio.PacketSize
+	s := &Session{
+		cfg:          cfg,
+		Mix:          mixer.NewMixer(),
+		Sampler:      mixer.NewSampler(),
+		samplerBuf:   audio.NewStereo(n),
+		masterMix:    audio.NewStereo(n),
+		masterBuf:    audio.NewStereo(n),
+		masterMono:   audio.NewBuffer(n),
+		cueBuf:       audio.NewStereo(n),
+		monitorMono:  audio.NewBuffer(n),
+		outBuf:       audio.NewStereo(n),
+		recordBuf:    audio.NewStereo(n),
+		outStage:     mixer.NewOutputStage(0.98, cfg.Rate),
+		recStage:     mixer.NewOutputStage(0.98, cfg.Rate),
+		masterVU:     mixer.NewVUMeter(0.95),
+		cueVU:        mixer.NewVUMeter(0.95),
+		spectrum:     dsp.MustFFT(128),
+		controlState: make([]float64, max(cfg.ControlNodes, 1)),
+	}
+	s.specRe = make([]float64, 128)
+	s.specIm = make([]float64, 128)
+	s.specMag = make([]float64, 64)
+
+	deckNames := []string{"deck-a", "deck-b", "deck-c", "deck-d"}
+	tempos := []float64{1.0, 0.97, 1.03, 0.99}
+	var defaultTracks [4]*synth.Track
+	haveDefaults := false
+
+	for d := 0; d < cfg.Decks; d++ {
+		dk := deck.New(deckNames[d], cfg.Rate)
+		var tr *synth.Track
+		if d < len(cfg.Tracks) && cfg.Tracks[d] != nil {
+			tr = cfg.Tracks[d]
+		} else {
+			if !haveDefaults {
+				defaultTracks = synth.StandardDeckTracks(cfg.TrackBars)
+				haveDefaults = true
+			}
+			tr = defaultTracks[d]
+		}
+		dk.Load(tr)
+		dk.SetLoop(0, float64(tr.Len())) // loop forever for long runs
+		dk.SetTempo(tempos[d])
+		dk.SetKeyLock(d%2 == 1) // two decks exercise the pitch shifter
+		dk.Play()
+		s.Decks = append(s.Decks, dk)
+
+		strip := mixer.NewChannelStrip("channel-"+deckNames[d], cfg.Rate)
+		if d%2 == 0 {
+			strip.SetCrossfadeSide(mixer.CrossfadeA)
+		} else {
+			strip.SetCrossfadeSide(mixer.CrossfadeB)
+		}
+		s.Strips = append(s.Strips, strip)
+
+		s.deckIn = append(s.deckIn, audio.NewStereo(n))
+		s.deckMix = append(s.deckMix, audio.NewStereo(n))
+		s.active = append(s.active, false)
+
+		// SP band filters: split the spectrum into SPPerDeck bands.
+		bands := []struct {
+			kind dsp.FilterKind
+			freq float64
+		}{
+			{dsp.LowPass, 200},
+			{dsp.BandPass, 800},
+			{dsp.BandPass, 3000},
+			{dsp.HighPass, 8000},
+		}
+		var bufs []audio.Stereo
+		var fl, fr []*dsp.Biquad
+		for i := 0; i < cfg.SPPerDeck; i++ {
+			b := bands[i%len(bands)]
+			bufs = append(bufs, audio.NewStereo(n))
+			fl = append(fl, dsp.NewBiquad(b.kind, b.freq, 0.8, 0, cfg.Rate))
+			fr = append(fr, dsp.NewBiquad(b.kind, b.freq, 0.8, 0, cfg.Rate))
+		}
+		s.spBuf = append(s.spBuf, bufs)
+		s.spFiltL = append(s.spFiltL, fl)
+		s.spFiltR = append(s.spFiltR, fr)
+
+		// Effect chain.
+		chain := effects.StandardChain(d, cfg.Rate)
+		units := make([]effects.Effect, cfg.FXPerDeck)
+		for j := 0; j < cfg.FXPerDeck; j++ {
+			units[j] = chain[j]
+			units[j].SetWet(0.25)
+		}
+		s.FX = append(s.FX, units)
+
+		s.chanInputs = append(s.chanInputs, mixer.ChannelInput{
+			Strip:  strip,
+			Packet: s.deckMix[d],
+		})
+
+		s.deckMeters = append(s.deckMeters, mixer.NewVUMeter(0.95))
+	}
+
+	// A short sampler clip (air-horn-ish burst).
+	clipLen := cfg.Rate / 4
+	clip := audio.NewStereo(clipLen)
+	osc := synth.NewOsc(synth.Saw, 880, cfg.Rate)
+	for i := 0; i < clipLen; i++ {
+		env := 1 - float64(i)/float64(clipLen)
+		v := osc.Next() * env * 0.5
+		clip.L[i] = v
+		clip.R[i] = v
+	}
+	s.Sampler.LoadClip(clip)
+
+	return s
+}

@@ -1,0 +1,11 @@
+package graph
+
+import "time"
+
+// nowNanos returns a monotonic nanosecond timestamp. time.Now in Go reads
+// the monotonic clock; subtracting two calls is safe against wall-clock
+// steps. Kept as a helper so measurement call sites stay terse.
+func nowNanos() int64 { return int64(time.Since(timeBase)) }
+
+// timeBase anchors the monotonic clock.
+var timeBase = time.Now()

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"djstar/internal/synth"
+)
+
+// RandomSpec configures RandomDAG.
+type RandomSpec struct {
+	// Nodes is the graph size (>= 1).
+	Nodes int
+	// EdgeProb is the probability of an edge between each earlier/later
+	// node pair, in [0, 1].
+	EdgeProb float64
+	// MaxDeps caps the indegree per node (0 = unlimited).
+	MaxDeps int
+	// Seed makes the graph reproducible.
+	Seed uint64
+}
+
+// RandomDAG generates a random acyclic task graph whose node Run functions
+// record execution into the returned Trace. Edges always point from a
+// lower to a higher ID, guaranteeing acyclicity by construction; Compile's
+// cycle check is exercised separately.
+func RandomDAG(spec RandomSpec) (*Graph, *ExecTrace) {
+	if spec.Nodes < 1 {
+		spec.Nodes = 1
+	}
+	rng := synth.NewRand(spec.Seed)
+	g := New()
+	tr := NewExecTrace(spec.Nodes)
+	for i := 0; i < spec.Nodes; i++ {
+		i := i
+		sec := Section(rng.Intn(int(numSections)))
+		g.AddNode(fmt.Sprintf("n%d", i), sec, func() { tr.Record(i) })
+	}
+	for to := 1; to < spec.Nodes; to++ {
+		deps := 0
+		for from := 0; from < to; from++ {
+			if spec.MaxDeps > 0 && deps >= spec.MaxDeps {
+				break
+			}
+			if rng.Float64() < spec.EdgeProb {
+				if err := g.AddEdge(from, to); err != nil {
+					panic(err)
+				}
+				deps++
+			}
+		}
+	}
+	return g, tr
+}
+
+// ExecTrace records, thread-safely, the global order in which nodes ran.
+// Property tests use it to assert that every scheduler executes each node
+// exactly once and never before its dependencies.
+type ExecTrace struct {
+	seq   atomic.Int64
+	stamp []atomic.Int64 // 0 = not run; otherwise 1-based sequence number
+}
+
+// NewExecTrace returns a trace for n nodes.
+func NewExecTrace(n int) *ExecTrace {
+	return &ExecTrace{stamp: make([]atomic.Int64, n)}
+}
+
+// Record marks node id as executed now. It panics on double execution,
+// which is always a scheduler bug.
+func (t *ExecTrace) Record(id int) {
+	s := t.seq.Add(1)
+	if !t.stamp[id].CompareAndSwap(0, s) {
+		panic(fmt.Sprintf("graph: node %d executed twice", id))
+	}
+}
+
+// Reset clears the trace for the next iteration.
+func (t *ExecTrace) Reset() {
+	t.seq.Store(0)
+	for i := range t.stamp {
+		t.stamp[i].Store(0)
+	}
+}
+
+// Stamp returns node id's 1-based execution sequence number (0 = not run).
+func (t *ExecTrace) Stamp(id int) int64 { return t.stamp[id].Load() }
+
+// Check verifies that every node ran exactly once and no node ran before
+// one of its dependencies. It returns a descriptive error on violation.
+func (t *ExecTrace) Check(p *Plan) error {
+	for i := 0; i < p.Len(); i++ {
+		if t.Stamp(i) == 0 {
+			return fmt.Errorf("graph: node %d (%s) never executed", i, p.Names[i])
+		}
+	}
+	for i := 0; i < p.Len(); i++ {
+		for _, d := range p.Preds[i] {
+			if t.Stamp(int(d)) > t.Stamp(i) {
+				return fmt.Errorf("graph: node %d (%s) ran before dependency %d (%s)",
+					i, p.Names[i], d, p.Names[d])
+			}
+		}
+	}
+	return nil
+}

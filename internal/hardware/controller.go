@@ -1,0 +1,211 @@
+// Package hardware implements the Hardware Access layer of DJ Star's
+// architecture (paper Fig. 2): "A second task of this layer is to connect
+// to external control devices via USB." Since no physical controller is
+// attached, the package provides both sides: a MIDI-style control-surface
+// protocol with a Mapping that applies control changes to the audio
+// session, and a simulated performer device that generates realistic
+// control traffic (the substitution for a human DJ on a USB controller).
+package hardware
+
+import (
+	"fmt"
+
+	"djstar/internal/audio"
+	"djstar/internal/graph"
+	"djstar/internal/synth"
+)
+
+// ControlKind classifies a control on the surface.
+type ControlKind int
+
+const (
+	// KindFader is an absolute 0..1 control (channel faders, crossfader).
+	KindFader ControlKind = iota
+	// KindKnob is an absolute 0..1 rotary (EQ, FX macros).
+	KindKnob
+	// KindButton is a momentary trigger (cue, sampler); Value 1 = press.
+	KindButton
+	// KindJog is a relative control; Value is a signed nudge amount.
+	KindJog
+)
+
+// ControlEvent is one input from the control surface.
+type ControlEvent struct {
+	// Control identifies the physical control ("ch0.fader",
+	// "crossfader", "deck1.jog", "deck2.fx1.macro", ...).
+	Control string
+	// Kind classifies the control.
+	Kind ControlKind
+	// Value is the control position (absolute kinds) or delta (jog).
+	Value float64
+}
+
+// String renders the event for logs.
+func (e ControlEvent) String() string {
+	return fmt.Sprintf("%s=%.3f", e.Control, e.Value)
+}
+
+// Mapping routes control events onto a live session, the way the real
+// application's hardware layer drives the Core. It is intended to be
+// called between audio cycles (the engine mutates session state only
+// there).
+type Mapping struct {
+	session *graph.Session
+	applied int64
+	unknown int64
+}
+
+// NewMapping returns a mapping bound to a session.
+func NewMapping(s *graph.Session) *Mapping {
+	return &Mapping{session: s}
+}
+
+// Applied returns how many events were recognized and applied.
+func (m *Mapping) Applied() int64 { return m.applied }
+
+// Unknown returns how many events had no mapping.
+func (m *Mapping) Unknown() int64 { return m.unknown }
+
+// Apply routes one event. Unknown controls are counted and ignored (a
+// real controller sends plenty of controls a given mapping doesn't use).
+func (m *Mapping) Apply(ev ControlEvent) {
+	s := m.session
+	var chan_, deck, fx int
+	switch {
+	case ev.Control == "crossfader":
+		s.Mix.SetCrossfade(ev.Value)
+	case ev.Control == "master.level":
+		s.Mix.SetMasterLevel(ev.Value * 2)
+	case ev.Control == "sampler.trigger":
+		if ev.Value > 0.5 {
+			s.Sampler.Trigger()
+		}
+	case scan1(ev.Control, "ch%d.fader", &chan_) && chan_ < len(s.Strips):
+		s.Strips[chan_].SetFader(ev.Value)
+	case scan1(ev.Control, "ch%d.cue", &chan_) && chan_ < len(s.Strips):
+		s.Strips[chan_].SetCue(ev.Value > 0.5)
+	case scan1(ev.Control, "ch%d.eq.low", &chan_) && chan_ < len(s.Strips):
+		m.setEQBand(chan_, 0, ev.Value)
+	case scan1(ev.Control, "ch%d.eq.mid", &chan_) && chan_ < len(s.Strips):
+		m.setEQBand(chan_, 1, ev.Value)
+	case scan1(ev.Control, "ch%d.eq.high", &chan_) && chan_ < len(s.Strips):
+		m.setEQBand(chan_, 2, ev.Value)
+	case scan1(ev.Control, "deck%d.tempo", &deck) && deck < len(s.Decks):
+		// Fader 0..1 maps to a ±8 % pitch range around unity.
+		s.Decks[deck].SetTempo(0.92 + ev.Value*0.16)
+	case scan1(ev.Control, "deck%d.jog", &deck) && deck < len(s.Decks):
+		// Relative nudge in packets worth of frames.
+		s.Decks[deck].Seek(s.Decks[deck].Position() + ev.Value*audio.PacketSize)
+	case scan1(ev.Control, "deck%d.play", &deck) && deck < len(s.Decks):
+		if ev.Value > 0.5 {
+			if s.Decks[deck].Playing() {
+				s.Decks[deck].Pause()
+			} else {
+				s.Decks[deck].Play()
+			}
+		}
+	case scan2(ev.Control, "deck%d.fx%d.macro", &deck, &fx) &&
+		deck < len(s.FX) && fx < len(s.FX[deck]):
+		s.FX[deck][fx].SetMacro(ev.Value)
+	case scan2(ev.Control, "deck%d.fx%d.wet", &deck, &fx) &&
+		deck < len(s.FX) && fx < len(s.FX[deck]):
+		s.FX[deck][fx].SetWet(ev.Value)
+	default:
+		m.unknown++
+		return
+	}
+	m.applied++
+}
+
+// setEQBand adjusts one band, mapping 0..1 to [EQGainMin, +12] with the
+// usual center detent at 0 dB.
+func (m *Mapping) setEQBand(ch, band int, v float64) {
+	db := knobToDB(v)
+	low, mid, high := m.session.Strips[ch].EQGains()
+	switch band {
+	case 0:
+		low = db
+	case 1:
+		mid = db
+	case 2:
+		high = db
+	}
+	m.session.Strips[ch].SetEQ(low, mid, high)
+}
+
+// knobToDB maps 0..1 to dB: 0 → -26 (kill), 0.5 → 0, 1 → +12.
+func knobToDB(v float64) float64 {
+	v = audio.Clamp(v, 0, 1)
+	if v < 0.5 {
+		return -26 * (0.5 - v) * 2
+	}
+	return 12 * (v - 0.5) * 2
+}
+
+// scan1 and scan2 parse fixed patterns without regexp.
+func scan1(s, pattern string, a *int) bool {
+	n, err := fmt.Sscanf(s, pattern, a)
+	return err == nil && n == 1 && *a >= 0
+}
+
+func scan2(s, pattern string, a, b *int) bool {
+	n, err := fmt.Sscanf(s, pattern, a, b)
+	return err == nil && n == 2 && *a >= 0 && *b >= 0
+}
+
+// Performer simulates a DJ working a controller: it emits plausible
+// control traffic (fader rides, EQ cuts, jog nudges, FX tweaks) at a
+// configurable density. Deterministic for a given seed.
+type Performer struct {
+	rng   *synth.Rand
+	decks int
+	// EventsPerCycle is the expected number of control events per audio
+	// cycle (DJs tweak a few controls per second; the default 0.05 at
+	// 344 cycles/s is ~17 events per second).
+	EventsPerCycle float64
+}
+
+// NewPerformer returns a deterministic simulated performer.
+func NewPerformer(seed uint64, decks int) *Performer {
+	if decks < 1 {
+		decks = 1
+	}
+	return &Performer{rng: synth.NewRand(seed), decks: decks, EventsPerCycle: 0.05}
+}
+
+// Next returns the control events for one audio cycle (often none).
+// The returned slice is only valid until the next call.
+func (p *Performer) Next() []ControlEvent {
+	var out []ControlEvent
+	// Poisson-ish: emit while the dice keep succeeding.
+	chance := p.EventsPerCycle
+	for chance > 0 && p.rng.Float64() < chance {
+		out = append(out, p.randomEvent())
+		chance -= 1
+	}
+	return out
+}
+
+func (p *Performer) randomEvent() ControlEvent {
+	deck := p.rng.Intn(p.decks)
+	switch p.rng.Intn(8) {
+	case 0:
+		return ControlEvent{Control: "crossfader", Kind: KindFader, Value: p.rng.Float64()}
+	case 1:
+		return ControlEvent{Control: fmt.Sprintf("ch%d.fader", deck), Kind: KindFader, Value: p.rng.Float64()}
+	case 2:
+		band := []string{"low", "mid", "high"}[p.rng.Intn(3)]
+		return ControlEvent{Control: fmt.Sprintf("ch%d.eq.%s", deck, band), Kind: KindKnob, Value: p.rng.Float64()}
+	case 3:
+		return ControlEvent{Control: fmt.Sprintf("deck%d.tempo", deck), Kind: KindFader, Value: 0.4 + 0.2*p.rng.Float64()}
+	case 4:
+		return ControlEvent{Control: fmt.Sprintf("deck%d.jog", deck), Kind: KindJog, Value: (p.rng.Float64() - 0.5) * 2}
+	case 5:
+		fx := p.rng.Intn(4)
+		return ControlEvent{Control: fmt.Sprintf("deck%d.fx%d.macro", deck, fx), Kind: KindKnob, Value: p.rng.Float64()}
+	case 6:
+		return ControlEvent{Control: fmt.Sprintf("ch%d.cue", deck), Kind: KindButton, Value: float64(p.rng.Intn(2))}
+	default:
+		return ControlEvent{Control: "sampler.trigger", Kind: KindButton, Value: 1}
+	}
+}

@@ -1,0 +1,197 @@
+package hardware
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"djstar/internal/graph"
+)
+
+func testSession(t *testing.T) *graph.Session {
+	t.Helper()
+	cfg := graph.DefaultConfig()
+	cfg.TrackBars = 2
+	s, _, err := graph.BuildDJStar(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMappingFadersAndCrossfader(t *testing.T) {
+	s := testSession(t)
+	m := NewMapping(s)
+	m.Apply(ControlEvent{Control: "crossfader", Kind: KindFader, Value: 0.25})
+	if s.Mix.Crossfade() != 0.25 {
+		t.Fatalf("crossfade = %v", s.Mix.Crossfade())
+	}
+	m.Apply(ControlEvent{Control: "ch2.fader", Kind: KindFader, Value: 0.5})
+	if s.Strips[2].Fader() != 0.5 {
+		t.Fatalf("ch2 fader = %v", s.Strips[2].Fader())
+	}
+	m.Apply(ControlEvent{Control: "master.level", Kind: KindKnob, Value: 0.5})
+	if s.Mix.MasterLevel() != 1.0 {
+		t.Fatalf("master = %v", s.Mix.MasterLevel())
+	}
+	if m.Applied() != 3 || m.Unknown() != 0 {
+		t.Fatalf("applied/unknown = %d/%d", m.Applied(), m.Unknown())
+	}
+}
+
+func TestMappingEQ(t *testing.T) {
+	s := testSession(t)
+	m := NewMapping(s)
+	m.Apply(ControlEvent{Control: "ch0.eq.low", Kind: KindKnob, Value: 0}) // kill
+	low, mid, high := s.Strips[0].EQGains()
+	if math.Abs(low-(-26)) > 1e-9 || mid != 0 || high != 0 {
+		t.Fatalf("gains = %v %v %v", low, mid, high)
+	}
+	m.Apply(ControlEvent{Control: "ch0.eq.high", Kind: KindKnob, Value: 1}) // full boost
+	low, _, high = s.Strips[0].EQGains()
+	if math.Abs(high-12) > 1e-9 {
+		t.Fatalf("high = %v", high)
+	}
+	// Low band setting preserved.
+	if math.Abs(low-(-26)) > 1e-9 {
+		t.Fatalf("low clobbered: %v", low)
+	}
+	// Center detent.
+	m.Apply(ControlEvent{Control: "ch0.eq.mid", Kind: KindKnob, Value: 0.5})
+	_, mid, _ = s.Strips[0].EQGains()
+	if mid != 0 {
+		t.Fatalf("mid at detent = %v", mid)
+	}
+}
+
+func TestMappingDeckControls(t *testing.T) {
+	s := testSession(t)
+	m := NewMapping(s)
+
+	m.Apply(ControlEvent{Control: "deck1.tempo", Kind: KindFader, Value: 1})
+	if got := s.Decks[1].Tempo(); math.Abs(got-1.08) > 1e-9 {
+		t.Fatalf("tempo = %v, want 1.08", got)
+	}
+
+	before := s.Decks[0].Position()
+	m.Apply(ControlEvent{Control: "deck0.jog", Kind: KindJog, Value: 2})
+	if got := s.Decks[0].Position(); math.Abs(got-(before+256)) > 1e-9 {
+		t.Fatalf("jog moved to %v, want %v", got, before+256)
+	}
+
+	// Play toggles.
+	wasPlaying := s.Decks[3].Playing()
+	m.Apply(ControlEvent{Control: "deck3.play", Kind: KindButton, Value: 1})
+	if s.Decks[3].Playing() == wasPlaying {
+		t.Fatal("play did not toggle")
+	}
+	m.Apply(ControlEvent{Control: "deck3.play", Kind: KindButton, Value: 1})
+	if s.Decks[3].Playing() != wasPlaying {
+		t.Fatal("play did not toggle back")
+	}
+	// Release (value 0) does not toggle.
+	m.Apply(ControlEvent{Control: "deck3.play", Kind: KindButton, Value: 0})
+	if s.Decks[3].Playing() != wasPlaying {
+		t.Fatal("button release toggled")
+	}
+}
+
+func TestMappingFXAndSampler(t *testing.T) {
+	s := testSession(t)
+	m := NewMapping(s)
+	m.Apply(ControlEvent{Control: "deck2.fx1.macro", Kind: KindKnob, Value: 0.9})
+	if got := s.FX[2][1].Macro(); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("macro = %v", got)
+	}
+	m.Apply(ControlEvent{Control: "deck2.fx0.wet", Kind: KindKnob, Value: 0.7})
+	m.Apply(ControlEvent{Control: "sampler.trigger", Kind: KindButton, Value: 1})
+	if !s.Sampler.Playing() {
+		t.Fatal("sampler not triggered")
+	}
+	m.Apply(ControlEvent{Control: "ch1.cue", Kind: KindButton, Value: 1})
+	if !s.Strips[1].Cue() {
+		t.Fatal("cue not set")
+	}
+}
+
+func TestMappingUnknownControls(t *testing.T) {
+	s := testSession(t)
+	m := NewMapping(s)
+	for _, ctl := range []string{"bogus", "ch9.fader", "deck7.tempo", "deck0.fx9.macro", ""} {
+		m.Apply(ControlEvent{Control: ctl, Value: 0.5})
+	}
+	if m.Applied() != 0 {
+		t.Fatalf("applied = %d, want 0", m.Applied())
+	}
+	if m.Unknown() != 5 {
+		t.Fatalf("unknown = %d, want 5", m.Unknown())
+	}
+}
+
+func TestControlEventString(t *testing.T) {
+	s := ControlEvent{Control: "crossfader", Value: 0.5}.String()
+	if !strings.Contains(s, "crossfader") || !strings.Contains(s, "0.500") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestKnobToDB(t *testing.T) {
+	cases := []struct{ v, want float64 }{
+		{0, -26}, {0.5, 0}, {1, 12}, {-1, -26}, {2, 12}, {0.25, -13}, {0.75, 6},
+	}
+	for _, c := range cases {
+		if got := knobToDB(c.v); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("knobToDB(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestPerformerDeterministicAndApplicable(t *testing.T) {
+	a := NewPerformer(99, 4)
+	b := NewPerformer(99, 4)
+	s := testSession(t)
+	m := NewMapping(s)
+	events := 0
+	for cycle := 0; cycle < 5000; cycle++ {
+		evA := a.Next()
+		evB := b.Next()
+		if len(evA) != len(evB) {
+			t.Fatal("performer not deterministic")
+		}
+		for i, ev := range evA {
+			if ev != evB[i] {
+				t.Fatal("performer events differ")
+			}
+			m.Apply(ev)
+			events++
+		}
+	}
+	if events == 0 {
+		t.Fatal("performer emitted nothing in 5000 cycles")
+	}
+	// Every generated control must be recognized by the mapping.
+	if m.Unknown() != 0 {
+		t.Fatalf("performer produced %d unknown controls", m.Unknown())
+	}
+	if m.Applied() != int64(events) {
+		t.Fatalf("applied %d of %d", m.Applied(), events)
+	}
+}
+
+func TestPerformerDensity(t *testing.T) {
+	p := NewPerformer(7, 4)
+	p.EventsPerCycle = 0.5
+	total := 0
+	const cycles = 10000
+	for i := 0; i < cycles; i++ {
+		total += len(p.Next())
+	}
+	rate := float64(total) / cycles
+	if rate < 0.3 || rate > 0.7 {
+		t.Fatalf("event rate %v, want ~0.5", rate)
+	}
+	// Degenerate decks count.
+	if NewPerformer(1, 0) == nil {
+		t.Fatal("nil performer")
+	}
+}

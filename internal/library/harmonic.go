@@ -1,0 +1,115 @@
+package library
+
+import "sort"
+
+// Harmonic mixing support: DJs pick the next track not just by tempo but
+// by key compatibility (the "Camelot wheel"). Two keys blend well when
+// they are identical, a perfect fifth/fourth apart, or relative
+// major/minor. Our analyzer reports a root pitch class without mode, so
+// compatibility here is: same class, +7 (fifth up) or +5 (fifth down).
+
+// KeysCompatible reports whether two pitch classes mix harmonically.
+func KeysCompatible(a, b int) bool {
+	a = ((a % 12) + 12) % 12
+	b = ((b % 12) + 12) % 12
+	d := (b - a + 12) % 12
+	return d == 0 || d == 5 || d == 7
+}
+
+// CompatibleTracks lists tracks that mix with the given entry: tempo
+// within pct percent AND harmonically compatible key, sorted by tempo
+// distance. The entry itself is excluded.
+func (l *Library) CompatibleTracks(with *Entry, pct float64) []*Entry {
+	if with == nil || with.Analysis == nil {
+		return nil
+	}
+	out := l.CompatibleBPM(with.Analysis.BPM, pct)
+	filtered := out[:0]
+	for _, e := range out {
+		if e == with {
+			continue
+		}
+		if KeysCompatible(with.Analysis.Key, e.Analysis.Key) {
+			filtered = append(filtered, e)
+		}
+	}
+	return filtered
+}
+
+// Section is a structural region of a track (intro/outro detection).
+type Section struct {
+	// StartFrame and EndFrame bound the section.
+	StartFrame, EndFrame int
+	// Loud reports whether the section is a full-energy region.
+	Loud bool
+}
+
+// DetectSections segments a clip into loud and quiet regions using the
+// overview RMS — the basis for "mix in at the outro, out after the
+// intro" autopilot decisions. minFrac is the relative RMS threshold
+// (e.g. 0.5: a bucket is loud when above half the track's peak RMS).
+func DetectSections(ov Overview, totalFrames int, minFrac float64) []Section {
+	n := len(ov.RMS)
+	if n == 0 || totalFrames <= 0 {
+		return nil
+	}
+	peak := 0.0
+	for _, r := range ov.RMS {
+		if r > peak {
+			peak = r
+		}
+	}
+	if peak == 0 {
+		return []Section{{StartFrame: 0, EndFrame: totalFrames, Loud: false}}
+	}
+	threshold := peak * minFrac
+
+	var out []Section
+	cur := Section{StartFrame: 0, Loud: ov.RMS[0] >= threshold}
+	for b := 1; b < n; b++ {
+		loud := ov.RMS[b] >= threshold
+		if loud != cur.Loud {
+			cur.EndFrame = b * totalFrames / n
+			out = append(out, cur)
+			cur = Section{StartFrame: cur.EndFrame, Loud: loud}
+		}
+	}
+	cur.EndFrame = totalFrames
+	out = append(out, cur)
+	return out
+}
+
+// MixOutPoint suggests where to start mixing out of a track: the
+// beginning of its final quiet section (the outro), or 80 % through when
+// the track never goes quiet.
+func MixOutPoint(sections []Section, totalFrames int) int {
+	for i := len(sections) - 1; i >= 0; i-- {
+		s := sections[i]
+		if !s.Loud && s.EndFrame == totalFrames && s.StartFrame > 0 {
+			return s.StartFrame
+		}
+	}
+	return totalFrames * 4 / 5
+}
+
+// SortByKeyDistance orders entries by circle-of-fifths distance from the
+// reference key (stable within equal distance).
+func SortByKeyDistance(entries []*Entry, key int) {
+	dist := func(e *Entry) int {
+		d := ((e.Analysis.Key-key)%12 + 12) % 12
+		// Distance on the circle of fifths: 0 is best, 7/5 next, etc.
+		switch d {
+		case 0:
+			return 0
+		case 5, 7:
+			return 1
+		case 2, 10:
+			return 2
+		default:
+			return 3
+		}
+	}
+	sort.SliceStable(entries, func(a, b int) bool {
+		return dist(entries[a]) < dist(entries[b])
+	})
+}

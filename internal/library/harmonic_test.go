@@ -1,0 +1,158 @@
+package library
+
+import (
+	"testing"
+	"testing/quick"
+
+	"djstar/internal/audio"
+	"djstar/internal/synth"
+)
+
+func TestKeysCompatible(t *testing.T) {
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{9, 9, true},   // same key
+		{9, 4, true},   // A -> E (fifth up)
+		{9, 2, true},   // A -> D (fifth down)
+		{9, 10, false}, // semitone clash
+		{0, 6, false},  // tritone
+		{-3, 9, true},  // wrapping
+	}
+	for _, c := range cases {
+		if got := KeysCompatible(c.a, c.b); got != c.want {
+			t.Fatalf("KeysCompatible(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestKeysCompatibleSymmetricProperty(t *testing.T) {
+	f := func(a, b int8) bool {
+		return KeysCompatible(int(a), int(b)) == KeysCompatible(int(b), int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompatibleTracksFiltersKeyAndBPM(t *testing.T) {
+	lib := New(audio.SampleRate)
+	add := func(name string, bpm float64, key int) *Entry {
+		e, err := lib.Add(synth.GenerateTrack(synth.TrackSpec{
+			Name: name, BPM: bpm, Bars: 8, Seed: uint64(len(name)), Key: key, QuietEvery: 0,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	ref := add("ref", 126, 0) // root A
+	add("fifthup", 126, 7)    // E: compatible
+	add("clash", 126, 1)      // A#: harmonic clash
+	add("toofast", 150, 0)    // same key, way off tempo
+	got := lib.CompatibleTracks(ref, 4)
+	// Key detection may land on the root or its fifth, so assert set
+	// bounds rather than exact membership: "clash" and "toofast" must be
+	// excluded, ref itself must be excluded.
+	for _, e := range got {
+		if e == ref {
+			t.Fatal("reference track returned")
+		}
+		if e.Track.Name == "toofast" {
+			t.Fatal("off-tempo track returned")
+		}
+	}
+	if lib.CompatibleTracks(nil, 4) != nil {
+		t.Fatal("nil entry should give nil")
+	}
+}
+
+func TestDetectSections(t *testing.T) {
+	// Overview: quiet, loud, quiet.
+	ov := Overview{
+		RMS:  []float64{0.05, 0.06, 0.5, 0.55, 0.6, 0.05, 0.04, 0.05},
+		Peak: make([]float64, 8),
+	}
+	sections := DetectSections(ov, 800, 0.5)
+	if len(sections) != 3 {
+		t.Fatalf("got %d sections: %+v", len(sections), sections)
+	}
+	if sections[0].Loud || !sections[1].Loud || sections[2].Loud {
+		t.Fatalf("loudness pattern wrong: %+v", sections)
+	}
+	if sections[0].StartFrame != 0 || sections[2].EndFrame != 800 {
+		t.Fatalf("bounds wrong: %+v", sections)
+	}
+	// Contiguity.
+	for i := 1; i < len(sections); i++ {
+		if sections[i].StartFrame != sections[i-1].EndFrame {
+			t.Fatalf("gap between sections %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestDetectSectionsDegenerate(t *testing.T) {
+	if DetectSections(Overview{}, 100, 0.5) != nil {
+		t.Fatal("empty overview should give nil")
+	}
+	silent := DetectSections(Overview{RMS: make([]float64, 4), Peak: make([]float64, 4)}, 100, 0.5)
+	if len(silent) != 1 || silent[0].Loud {
+		t.Fatalf("silent track sections: %+v", silent)
+	}
+}
+
+func TestMixOutPoint(t *testing.T) {
+	// Ends with a quiet outro starting at frame 600.
+	sections := []Section{
+		{0, 200, false},
+		{200, 600, true},
+		{600, 800, false},
+	}
+	if got := MixOutPoint(sections, 800); got != 600 {
+		t.Fatalf("MixOutPoint = %d, want 600", got)
+	}
+	// No outro: 80 % point.
+	loud := []Section{{0, 800, true}}
+	if got := MixOutPoint(loud, 800); got != 640 {
+		t.Fatalf("MixOutPoint = %d, want 640", got)
+	}
+}
+
+func TestSortByKeyDistance(t *testing.T) {
+	mk := func(key int) *Entry {
+		return &Entry{Analysis: &Analysis{Key: key}}
+	}
+	entries := []*Entry{mk(6), mk(7), mk(0), mk(2)}
+	SortByKeyDistance(entries, 0)
+	wantOrder := []int{0, 7, 2, 6} // same, fifth, whole tone, tritone
+	for i, w := range wantOrder {
+		if entries[i].Analysis.Key != w {
+			t.Fatalf("order = %v, want %v at %d",
+				[]int{entries[0].Analysis.Key, entries[1].Analysis.Key,
+					entries[2].Analysis.Key, entries[3].Analysis.Key}, w, i)
+		}
+	}
+}
+
+func TestSectionsOnSyntheticTrack(t *testing.T) {
+	// The generated tracks alternate loud/quiet two-bar groups; section
+	// detection must find multiple alternations.
+	tr := synth.GenerateTrack(synth.TrackSpec{Name: "t", Bars: 16, Seed: 2})
+	ov := BuildOverview(tr.Audio, 200)
+	sections := DetectSections(ov, tr.Len(), 0.4)
+	if len(sections) < 4 {
+		t.Fatalf("found only %d sections on an alternating track", len(sections))
+	}
+	var louds, quiets int
+	for _, s := range sections {
+		if s.Loud {
+			louds++
+		} else {
+			quiets++
+		}
+	}
+	if louds == 0 || quiets == 0 {
+		t.Fatalf("sections all one kind: %d loud, %d quiet", louds, quiets)
+	}
+}

@@ -1,0 +1,194 @@
+// Package middleware implements the Event Middleware layer of DJ Star's
+// 4-layer architecture (paper Fig. 2): the User Interface "communicates
+// with the Core subsystems indirectly via the Event Middleware". It is a
+// topic-based publish/subscribe bus with bounded per-subscriber queues
+// and a drop-oldest overflow policy, so a slow UI can never stall the
+// audio engine: Publish never blocks.
+package middleware
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one message on the bus.
+type Event struct {
+	// Topic routes the event ("deck.position", "meter.master", ...).
+	Topic string
+	// Payload carries the topic-specific data.
+	Payload any
+	// Seq is the bus-wide publication sequence number.
+	Seq uint64
+	// At is the publication time.
+	At time.Time
+}
+
+// TopicWildcard subscribes to every topic.
+const TopicWildcard = "*"
+
+// Subscription receives events for one topic (or all).
+type Subscription struct {
+	bus     *Bus
+	topic   string
+	ch      chan Event
+	dropped atomic.Int64
+	closed  atomic.Bool
+}
+
+// Events returns the receive channel. It is closed by Unsubscribe.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped returns how many events were discarded because the
+// subscriber's queue was full (drop-oldest policy).
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Unsubscribe detaches the subscription and closes its channel.
+func (s *Subscription) Unsubscribe() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.bus.remove(s)
+	close(s.ch)
+}
+
+// Bus is the event middleware. The zero value is not usable; call New.
+type Bus struct {
+	mu   sync.RWMutex
+	subs map[string][]*Subscription
+	seq  atomic.Uint64
+	// published counts all Publish calls (diagnostics).
+	published atomic.Int64
+}
+
+// New returns an empty bus.
+func New() *Bus {
+	return &Bus{subs: make(map[string][]*Subscription)}
+}
+
+// Subscribe registers for a topic with the given queue depth (minimum 1).
+// Use TopicWildcard to receive everything.
+func (b *Bus) Subscribe(topic string, depth int) (*Subscription, error) {
+	if topic == "" {
+		return nil, fmt.Errorf("middleware: empty topic")
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	s := &Subscription{bus: b, topic: topic, ch: make(chan Event, depth)}
+	b.mu.Lock()
+	b.subs[topic] = append(b.subs[topic], s)
+	b.mu.Unlock()
+	return s, nil
+}
+
+// remove detaches s from the bus.
+func (b *Bus) remove(s *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	list := b.subs[s.topic]
+	for i, cur := range list {
+		if cur == s {
+			b.subs[s.topic] = append(list[:i:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(b.subs[s.topic]) == 0 {
+		delete(b.subs, s.topic)
+	}
+}
+
+// Publish delivers an event to all subscribers of the topic and of the
+// wildcard. It never blocks: when a subscriber's queue is full the oldest
+// queued event is dropped to make room (the UI wants the freshest meter
+// value, not a backlog).
+func (b *Bus) Publish(topic string, payload any) {
+	ev := Event{
+		Topic:   topic,
+		Payload: payload,
+		Seq:     b.seq.Add(1),
+		At:      time.Now(),
+	}
+	b.published.Add(1)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, s := range b.subs[topic] {
+		deliver(s, ev)
+	}
+	if topic != TopicWildcard {
+		for _, s := range b.subs[TopicWildcard] {
+			deliver(s, ev)
+		}
+	}
+}
+
+// deliver enqueues with the drop-oldest policy.
+func deliver(s *Subscription, ev Event) {
+	if s.closed.Load() {
+		return
+	}
+	for {
+		select {
+		case s.ch <- ev:
+			return
+		default:
+		}
+		// Full: drop the oldest and retry. Another consumer may race us
+		// for the slot, hence the loop.
+		select {
+		case <-s.ch:
+			s.dropped.Add(1)
+		default:
+		}
+	}
+}
+
+// Published returns the total number of Publish calls.
+func (b *Bus) Published() int64 { return b.published.Load() }
+
+// SubscriberCount returns the number of active subscriptions on a topic.
+func (b *Bus) SubscriberCount(topic string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs[topic])
+}
+
+// Standard topics published by the application facade.
+const (
+	TopicDeckPosition = "deck.position" // payload DeckPosition
+	TopicMeterMaster  = "meter.master"  // payload MeterLevels
+	TopicMeterDeck    = "meter.deck"    // payload MeterLevels
+	TopicBeat         = "engine.beat"   // payload Beat
+	TopicDeadlineMiss = "engine.miss"   // payload DeadlineMiss
+	TopicControl      = "hw.control"    // payload hardware.ControlEvent
+)
+
+// DeckPosition reports a deck's playhead (UI waveform cursor).
+type DeckPosition struct {
+	Deck    int
+	Frames  float64
+	Seconds float64
+	Tempo   float64
+	Playing bool
+}
+
+// MeterLevels is a meter reading for a deck or bus.
+type MeterLevels struct {
+	Source string
+	Peak   float64
+	RMS    float64
+}
+
+// Beat marks a beat boundary crossing on a deck.
+type Beat struct {
+	Deck  int
+	Phase float64
+}
+
+// DeadlineMiss reports an APC that exceeded the packet deadline.
+type DeadlineMiss struct {
+	Cycle      int64
+	DurationMS float64
+	DeadlineMS float64
+}

@@ -1,0 +1,176 @@
+package middleware
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSubscribePublishReceive(t *testing.T) {
+	b := New()
+	sub, err := b.Subscribe("a", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Publish("a", 42)
+	b.Publish("other", 1) // not delivered
+	ev := <-sub.Events()
+	if ev.Topic != "a" || ev.Payload.(int) != 42 || ev.Seq == 0 {
+		t.Fatalf("event = %+v", ev)
+	}
+	select {
+	case ev := <-sub.Events():
+		t.Fatalf("unexpected event %+v", ev)
+	default:
+	}
+	if b.Published() != 2 {
+		t.Fatalf("Published = %d", b.Published())
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	b := New()
+	if _, err := b.Subscribe("", 1); err == nil {
+		t.Fatal("empty topic accepted")
+	}
+	s, err := b.Subscribe("x", -5) // depth clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Publish("x", 1)
+	<-s.Events()
+}
+
+func TestWildcardReceivesEverything(t *testing.T) {
+	b := New()
+	all, _ := b.Subscribe(TopicWildcard, 8)
+	b.Publish("a", 1)
+	b.Publish("b", 2)
+	got := []string{(<-all.Events()).Topic, (<-all.Events()).Topic}
+	if got[0] != "a" || got[1] != "b" {
+		t.Fatalf("wildcard got %v", got)
+	}
+}
+
+func TestDropOldestPolicy(t *testing.T) {
+	b := New()
+	sub, _ := b.Subscribe("m", 2)
+	for i := 0; i < 5; i++ {
+		b.Publish("m", i)
+	}
+	// Queue depth 2: the two freshest events survive.
+	first := <-sub.Events()
+	second := <-sub.Events()
+	if first.Payload.(int) != 3 || second.Payload.(int) != 4 {
+		t.Fatalf("kept %v and %v, want 3 and 4", first.Payload, second.Payload)
+	}
+	if sub.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", sub.Dropped())
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := New()
+	sub, _ := b.Subscribe("t", 1)
+	if b.SubscriberCount("t") != 1 {
+		t.Fatal("count wrong")
+	}
+	sub.Unsubscribe()
+	sub.Unsubscribe() // idempotent
+	if b.SubscriberCount("t") != 0 {
+		t.Fatal("subscription not removed")
+	}
+	// Channel closed: receive yields zero value, ok == false.
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("channel not closed")
+	}
+	// Publishing after unsubscribe must not panic.
+	b.Publish("t", 1)
+}
+
+func TestMultipleSubscribersSameTopic(t *testing.T) {
+	b := New()
+	s1, _ := b.Subscribe("t", 2)
+	s2, _ := b.Subscribe("t", 2)
+	b.Publish("t", "x")
+	if (<-s1.Events()).Payload != "x" || (<-s2.Events()).Payload != "x" {
+		t.Fatal("fan-out failed")
+	}
+	s1.Unsubscribe()
+	b.Publish("t", "y")
+	if (<-s2.Events()).Payload != "y" {
+		t.Fatal("remaining subscriber starved")
+	}
+}
+
+func TestPublishNeverBlocks(t *testing.T) {
+	b := New()
+	_, _ = b.Subscribe("hot", 1)
+	done := make(chan struct{})
+	go func() {
+		// Nobody drains; 10k publishes must still complete immediately.
+		for i := 0; i < 10000; i++ {
+			b.Publish("hot", i)
+		}
+		close(done)
+	}()
+	<-done
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := New()
+	var consumers, producers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Producers publish until told to stop, so consumers never starve.
+	for p := 0; p < 2; p++ {
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			for i := 0; ; i++ {
+				b.Publish("t", i)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	// Consumers subscribe, read a little, unsubscribe, repeatedly.
+	for c := 0; c < 4; c++ {
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			for i := 0; i < 50; i++ {
+				sub, err := b.Subscribe("t", 4)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := 0; j < 3; j++ {
+					<-sub.Events()
+				}
+				sub.Unsubscribe()
+			}
+		}()
+	}
+	consumers.Wait()
+	close(stop)
+	producers.Wait()
+}
+
+func TestSeqMonotone(t *testing.T) {
+	b := New()
+	sub, _ := b.Subscribe("s", 16)
+	for i := 0; i < 10; i++ {
+		b.Publish("s", i)
+	}
+	var last uint64
+	for i := 0; i < 10; i++ {
+		ev := <-sub.Events()
+		if ev.Seq <= last {
+			t.Fatalf("seq not monotone: %d after %d", ev.Seq, last)
+		}
+		last = ev.Seq
+	}
+}

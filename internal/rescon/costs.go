@@ -1,0 +1,51 @@
+package rescon
+
+import (
+	"strings"
+
+	"djstar/internal/graph"
+)
+
+// PaperCostsUS returns the DESIGN.md §4 per-node cost targets (in µs,
+// paper scale) for a standard DJ Star plan, identifying nodes by their
+// names. Effect nodes get their expected average (base plus half the
+// data-dependent part, since the synthetic tracks are loud about half the
+// time), which is how the paper's "average vertex computation time over
+// 10k APC executions" feeds the RESCON simulation.
+func PaperCostsUS(p *graph.Plan) []float64 {
+	out := make([]float64, p.Len())
+	for i, name := range p.Names {
+		out[i] = paperCostFor(name)
+	}
+	return out
+}
+
+func paperCostFor(name string) float64 {
+	avg := func(c graph.Cost) float64 { return c.BaseUS + c.DataUS/2 }
+	switch {
+	case strings.HasPrefix(name, "SP"):
+		return avg(graph.CostSP)
+	case strings.HasPrefix(name, "FX"):
+		return avg(graph.CostFX)
+	case strings.HasPrefix(name, "Channel"):
+		return avg(graph.CostChannel)
+	case name == "Mixer":
+		return avg(graph.CostMixer)
+	case name == "MasterBuffer":
+		return avg(graph.CostMaster)
+	case name == "AudioOut1":
+		return avg(graph.CostOut)
+	case name == "RecordBuffer":
+		return avg(graph.CostRecord)
+	case name == "CueBuffer":
+		return avg(graph.CostCue)
+	case name == "MonitorBuffer":
+		return avg(graph.CostMonitor)
+	case name == "Sampler":
+		return avg(graph.CostSampler)
+	case strings.HasPrefix(name, "Ctrl"):
+		return avg(graph.CostControl)
+	default: // metering nodes
+		return avg(graph.CostMeter)
+	}
+}

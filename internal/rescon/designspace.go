@@ -1,0 +1,144 @@
+package rescon
+
+import (
+	"fmt"
+	"math"
+)
+
+// Design-space models for the parallelization strategies the paper rules
+// out in §V: software pipelining and data parallelism both raise
+// throughput but fundamentally cannot meet DJ Star's latency constraint,
+// because "only one audio packet at a time is available" — the next
+// packet does not exist until the DJ's live tweaks are applied to it.
+// These models quantify that argument.
+
+// PipelineResult models a software pipeline over the task graph.
+type PipelineResult struct {
+	// Stages is the number of pipeline stages (depth classes).
+	Stages int
+	// InitiationIntervalUS is the time between packet completions once
+	// the pipeline is full (the throughput bound).
+	InitiationIntervalUS float64
+	// LatencyUS is the per-packet latency through the full pipeline.
+	LatencyUS float64
+	// StageUS holds each stage's makespan on its processor share.
+	StageUS []float64
+}
+
+// SimulatePipeline partitions the graph into depth stages, assigns each
+// stage a processor share, and computes the initiation interval (the
+// slowest stage) and the per-packet latency of a synchronous pipeline
+// (stages advance in lockstep every interval, so latency = stages ×
+// interval). procs is the total processor count shared by the stages.
+func (m *Model) SimulatePipeline(depth []int32, procs int) (*PipelineResult, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("rescon: procs = %d, want >= 1", procs)
+	}
+	if len(depth) != m.Len() {
+		return nil, fmt.Errorf("rescon: depth array has %d entries for %d tasks", len(depth), m.Len())
+	}
+	stages := 0
+	for _, d := range depth {
+		if int(d)+1 > stages {
+			stages = int(d) + 1
+		}
+	}
+	if stages == 0 {
+		return nil, fmt.Errorf("rescon: empty model")
+	}
+
+	// Stage work: sum of node durations per depth class.
+	work := make([]float64, stages)
+	maxNode := make([]float64, stages)
+	for i := 0; i < m.Len(); i++ {
+		s := int(depth[i])
+		work[s] += m.dur[i]
+		if m.dur[i] > maxNode[s] {
+			maxNode[s] = m.dur[i]
+		}
+	}
+
+	// Processor shares proportional to stage work (at least 1 each when
+	// possible; with fewer procs than stages, stages share processors and
+	// the effective interval is bounded by total work / procs).
+	stageUS := make([]float64, stages)
+	total := 0.0
+	for _, w := range work {
+		total += w
+	}
+	for s := range stageUS {
+		share := 1.0
+		if total > 0 && procs > 0 {
+			share = math.Max(1, math.Floor(work[s]/total*float64(procs)+0.5))
+		}
+		// A stage cannot run faster than its longest node, nor faster
+		// than its work divided across its share.
+		stageUS[s] = math.Max(maxNode[s], work[s]/share)
+	}
+
+	ii := 0.0
+	for _, t := range stageUS {
+		if t > ii {
+			ii = t
+		}
+	}
+	// Fewer processors than stages: intervals serialize further.
+	if procs < stages {
+		if lower := total / float64(procs); lower > ii {
+			ii = lower
+		}
+	}
+	return &PipelineResult{
+		Stages:               stages,
+		InitiationIntervalUS: ii,
+		LatencyUS:            float64(stages) * ii,
+		StageUS:              stageUS,
+	}, nil
+}
+
+// DataParallelResult models processing a batch of packets concurrently.
+type DataParallelResult struct {
+	// Batch is the number of packets processed together.
+	Batch int
+	// ThroughputIntervalUS is the average time per packet.
+	ThroughputIntervalUS float64
+	// LatencyUS is the worst per-packet latency: the first packet of a
+	// batch must wait for the whole batch to arrive (live input arrives
+	// one packet period apart) and then for the batch to compute.
+	LatencyUS float64
+	// ComputeUS is the batch computation time.
+	ComputeUS float64
+}
+
+// SimulateDataParallel models batch data parallelism: batch packets are
+// collected (arriving packetPeriodUS apart, because the audio source is
+// live), then each packet's graph runs on procs/batch processors (at
+// least 1). The latency of the first packet includes the arrival wait for
+// the rest of its batch — the term that makes data parallelism a
+// non-starter for live audio no matter how many processors exist.
+func (m *Model) SimulateDataParallel(batch, procs int, packetPeriodUS float64) (*DataParallelResult, error) {
+	if batch < 1 || procs < 1 {
+		return nil, fmt.Errorf("rescon: batch %d / procs %d, want >= 1", batch, procs)
+	}
+	per := procs / batch
+	if per < 1 {
+		per = 1
+	}
+	sched, err := m.ListSchedule(per)
+	if err != nil {
+		return nil, err
+	}
+	// Packets beyond procs capacity serialize in waves.
+	waves := 1
+	if batch*per > procs {
+		waves = int(math.Ceil(float64(batch) * float64(per) / float64(procs)))
+	}
+	compute := sched.MakespanUS * float64(waves)
+	arrivalWait := float64(batch-1) * packetPeriodUS
+	return &DataParallelResult{
+		Batch:                batch,
+		ThroughputIntervalUS: (arrivalWait + compute) / float64(batch),
+		LatencyUS:            arrivalWait + compute,
+		ComputeUS:            compute,
+	}, nil
+}

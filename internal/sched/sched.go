@@ -1,0 +1,175 @@
+// Package sched implements the paper's three parallelization strategies
+// for the DJ Star task graph — busy-waiting, thread-sleeping and
+// work-stealing (paper §V) — plus the sequential baseline they are
+// compared against (§VI, Table I).
+//
+// All schedulers execute a compiled graph.Plan once per call to Execute.
+// Workers are persistent goroutines pinned to OS threads; Execute is
+// called from the audio engine once per 2.9 ms audio processing cycle, so
+// per-cycle setup must be cheap and allocation-free.
+//
+// Memory model: a node's buffer writes are published to its successors
+// through the per-node done flags / pending counters, which are
+// manipulated with sync/atomic operations (sequentially consistent in
+// Go); a successor therefore observes all effects of its predecessors.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"djstar/internal/graph"
+)
+
+// Scheduler executes a compiled task graph, one full iteration per
+// Execute call. Implementations are not safe for concurrent Execute
+// calls; the audio engine serializes cycles by construction.
+type Scheduler interface {
+	// Name returns the strategy identifier ("seq", "busy", "sleep", "ws").
+	Name() string
+	// Threads returns the worker count (1 for the sequential baseline).
+	Threads() int
+	// Execute runs every node of the plan exactly once, respecting
+	// dependencies, and returns when the iteration is complete.
+	Execute()
+	// SetTracer installs (or removes, with nil) a schedule tracer that
+	// records per-node start/end times and worker assignment.
+	SetTracer(t *Tracer)
+	// Close shuts down the worker pool. The scheduler must not be used
+	// afterwards.
+	Close()
+}
+
+// Strategy names accepted by New.
+const (
+	NameSequential = "seq"
+	NameBusyWait   = "busy"
+	NameSleep      = "sleep"
+	NameWorkSteal  = "ws"
+)
+
+// Strategies lists the paper's strategy names in presentation order. Two
+// additional executors exist beyond the paper's set: NameSleepScan (the
+// improved sleeper §V-B sketches) and NameStatic (the offline MCFlow-style
+// executor), both accepted by New.
+var Strategies = []string{NameSequential, NameBusyWait, NameSleep, NameWorkSteal}
+
+// New constructs a scheduler by strategy name.
+func New(name string, p *graph.Plan, threads int) (Scheduler, error) {
+	switch name {
+	case NameSequential:
+		return NewSequential(p), nil
+	case NameBusyWait:
+		return NewBusyWait(p, threads)
+	case NameSleep:
+		return NewSleep(p, threads)
+	case NameWorkSteal:
+		return NewWorkSteal(p, threads)
+	case NameSleepScan:
+		return NewSleepScan(p, threads)
+	default:
+		return nil, fmt.Errorf("sched: unknown strategy %q (want one of %v or %q)",
+			name, Strategies, NameSleepScan)
+	}
+}
+
+// checkThreads validates a worker count against the plan.
+func checkThreads(p *graph.Plan, threads int) error {
+	if p == nil || p.Len() == 0 {
+		return fmt.Errorf("sched: empty plan")
+	}
+	if threads < 1 {
+		return fmt.Errorf("sched: threads = %d, want >= 1", threads)
+	}
+	if threads > p.Len() {
+		return fmt.Errorf("sched: threads = %d exceeds node count %d", threads, p.Len())
+	}
+	return nil
+}
+
+// spinYieldEvery is how many failed spin probes a waiter performs before
+// yielding the processor once. Pure spinning matches the paper's strategy;
+// the occasional Gosched keeps the program live on over-subscribed
+// machines (more workers than free cores) without measurably changing
+// behaviour when cores are available.
+const spinYieldEvery = 2048
+
+// spinWait spins until cond() is true.
+func spinWait(cond func() bool) {
+	for i := 1; !cond(); i++ {
+		if i%spinYieldEvery == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// nowNanos returns a monotonic timestamp in nanoseconds.
+func nowNanos() int64 { return int64(time.Since(timeBase)) }
+
+var timeBase = time.Now()
+
+// TraceEvent is one node execution recorded by a Tracer.
+type TraceEvent struct {
+	Node   int32
+	Worker int32
+	// Start and End are nanoseconds relative to the cycle start.
+	Start, End int64
+}
+
+// Tracer captures one iteration's schedule realization (paper Fig. 11).
+// It is preallocated for the plan size and allocation-free while tracing.
+type Tracer struct {
+	events []TraceEvent
+	base   int64
+}
+
+// NewTracer returns a tracer for plans of n nodes.
+func NewTracer(n int) *Tracer {
+	return &Tracer{events: make([]TraceEvent, n)}
+}
+
+// BeginCycle resets the tracer clock; schedulers call it from Execute.
+func (t *Tracer) BeginCycle() {
+	t.base = nowNanos()
+	for i := range t.events {
+		t.events[i] = TraceEvent{Node: int32(i), Worker: -1}
+	}
+}
+
+// Record stores one node's execution window.
+func (t *Tracer) Record(node, worker int32, start, end int64) {
+	t.events[node] = TraceEvent{
+		Node:   node,
+		Worker: worker,
+		Start:  start - t.base,
+		End:    end - t.base,
+	}
+}
+
+// Events returns the recorded events indexed by node ID. Entries with
+// Worker == -1 did not execute (only possible on a partial trace).
+func (t *Tracer) Events() []TraceEvent { return t.events }
+
+// Makespan returns the latest End across all events.
+func (t *Tracer) Makespan() int64 {
+	var m int64
+	for _, e := range t.events {
+		if e.Worker >= 0 && e.End > m {
+			m = e.End
+		}
+	}
+	return m
+}
+
+// runNode executes node id on worker w, recording a trace event when a
+// tracer is installed. Shared by all strategies.
+func runNode(p *graph.Plan, tr *Tracer, id, w int32) {
+	if tr == nil {
+		p.Run[id]()
+		return
+	}
+	start := nowNanos()
+	p.Run[id]()
+	tr.Record(id, w, start, nowNanos())
+}

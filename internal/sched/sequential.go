@@ -1,0 +1,40 @@
+package sched
+
+import "djstar/internal/graph"
+
+// Sequential executes the node queue in order on the calling thread —
+// DJ Star's original implementation ("single nodes can simply be removed
+// from the queue in the same order (FIFO) during graph execution and
+// processed sequentially", paper §IV) and the baseline for all speedup
+// numbers.
+type Sequential struct {
+	plan   *graph.Plan
+	tracer *Tracer
+}
+
+// NewSequential returns the sequential baseline executor.
+func NewSequential(p *graph.Plan) *Sequential {
+	return &Sequential{plan: p}
+}
+
+// Name implements Scheduler.
+func (s *Sequential) Name() string { return NameSequential }
+
+// Threads implements Scheduler.
+func (s *Sequential) Threads() int { return 1 }
+
+// SetTracer implements Scheduler.
+func (s *Sequential) SetTracer(t *Tracer) { s.tracer = t }
+
+// Execute implements Scheduler.
+func (s *Sequential) Execute() {
+	if s.tracer != nil {
+		s.tracer.BeginCycle()
+	}
+	for _, id := range s.plan.Order {
+		runNode(s.plan, s.tracer, id, 0)
+	}
+}
+
+// Close implements Scheduler (no worker pool to stop).
+func (s *Sequential) Close() {}

@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"djstar/internal/graph"
+)
+
+// Static executes a precomputed offline schedule: each worker runs a
+// fixed, externally supplied node list in order, busy-waiting on
+// dependencies exactly like BusyWait. It models the MCFlow-style
+// offline-scheduling alternative the paper's related work contrasts with
+// ("the scheduling decision in MCFlow is taken offline while we use an
+// online scheduling which enables us to dynamically load-balance"): with
+// imbalanced, data-dependent node costs a static assignment computed from
+// average durations cannot adapt, which is measurable in the ablation
+// harness.
+type Static struct {
+	plan    *graph.Plan
+	threads int
+	tracer  *Tracer
+
+	lists [][]int32
+
+	done       []atomic.Uint64
+	generation atomic.Uint64
+	finished   atomic.Int32
+	closed     atomic.Bool
+}
+
+// NameStatic is the strategy identifier for the offline executor.
+const NameStatic = "static"
+
+// NewStatic returns a scheduler executing the given per-worker node
+// lists. Every node must appear exactly once across the lists, and each
+// list must be dependency-consistent with the plan's queue order in the
+// sense that execution can always make progress (any assignment is safe
+// for liveness here because workers busy-wait on cross-list dependencies;
+// a poor assignment only costs time — but an assignment where two workers
+// wait on each other's *later* nodes would deadlock, so lists must be
+// consistent with some global topological order; assignments derived from
+// a schedule, e.g. rescon.Result, always are).
+func NewStatic(p *graph.Plan, lists [][]int32) (*Static, error) {
+	if p == nil || p.Len() == 0 {
+		return nil, fmt.Errorf("sched: empty plan")
+	}
+	if len(lists) < 1 {
+		return nil, fmt.Errorf("sched: static schedule needs at least one worker list")
+	}
+	seen := make([]bool, p.Len())
+	count := 0
+	for _, l := range lists {
+		for _, id := range l {
+			if id < 0 || int(id) >= p.Len() {
+				return nil, fmt.Errorf("sched: static schedule references node %d of %d", id, p.Len())
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("sched: node %d (%s) assigned twice", id, p.Names[id])
+			}
+			seen[id] = true
+			count++
+		}
+	}
+	if count != p.Len() {
+		return nil, fmt.Errorf("sched: static schedule covers %d of %d nodes", count, p.Len())
+	}
+	s := &Static{
+		plan:    p,
+		threads: len(lists),
+		lists:   lists,
+		done:    make([]atomic.Uint64, p.Len()),
+	}
+	for w := 1; w < s.threads; w++ {
+		go s.worker(int32(w))
+	}
+	return s, nil
+}
+
+// FromScheduleOrder builds per-worker lists from a processor assignment
+// and start times (e.g. a rescon.Result): worker w's list is its assigned
+// nodes sorted by scheduled start.
+func FromScheduleOrder(p *graph.Plan, proc []int32, start []float64, workers int) ([][]int32, error) {
+	if len(proc) != p.Len() || len(start) != p.Len() {
+		return nil, fmt.Errorf("sched: schedule arrays have length %d/%d, want %d",
+			len(proc), len(start), p.Len())
+	}
+	lists := make([][]int32, workers)
+	// Insert nodes in global start order so each list is start-sorted.
+	order := make([]int32, p.Len())
+	for i := range order {
+		order[i] = int32(i)
+	}
+	// Stable insertion sort by start time (n = 67; simplicity wins).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && start[order[j]] < start[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, id := range order {
+		w := int(proc[id])
+		if w < 0 || w >= workers {
+			return nil, fmt.Errorf("sched: node %d assigned to processor %d of %d", id, w, workers)
+		}
+		lists[w] = append(lists[w], id)
+	}
+	return lists, nil
+}
+
+// Name implements Scheduler.
+func (s *Static) Name() string { return NameStatic }
+
+// Threads implements Scheduler.
+func (s *Static) Threads() int { return s.threads }
+
+// SetTracer implements Scheduler.
+func (s *Static) SetTracer(t *Tracer) { s.tracer = t }
+
+func (s *Static) worker(w int32) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	lastGen := uint64(0)
+	for {
+		var gen uint64
+		spinWait(func() bool {
+			if s.closed.Load() {
+				return true
+			}
+			gen = s.generation.Load()
+			return gen != lastGen
+		})
+		if s.closed.Load() {
+			return
+		}
+		lastGen = gen
+		s.runList(w, gen)
+		s.finished.Add(1)
+	}
+}
+
+func (s *Static) runList(w int32, gen uint64) {
+	tr := s.tracer
+	for _, id := range s.lists[w] {
+		for _, d := range s.plan.Preds[id] {
+			d := d
+			spinWait(func() bool { return s.done[d].Load() == gen })
+		}
+		runNode(s.plan, tr, id, w)
+		s.done[id].Store(gen)
+	}
+}
+
+// Execute implements Scheduler.
+func (s *Static) Execute() {
+	if s.tracer != nil {
+		s.tracer.BeginCycle()
+	}
+	s.finished.Store(0)
+	gen := s.generation.Add(1)
+	s.runList(0, gen)
+	want := int32(s.threads - 1)
+	spinWait(func() bool { return s.finished.Load() == want })
+}
+
+// Close implements Scheduler.
+func (s *Static) Close() {
+	s.closed.Store(true)
+}

@@ -1,0 +1,284 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"djstar/internal/graph"
+)
+
+// WSOptions tune the work-stealing scheduler; the zero value is the
+// paper's configuration. The alternatives exist for the design-choice
+// ablations in the evaluation harness.
+type WSOptions struct {
+	// RoundRobinInit distributes source nodes round-robin instead of by
+	// mixer section (ablation for the paper's locality argument, §V-C).
+	RoundRobinInit bool
+	// LockedDeque replaces the lock-free Chase–Lev deques with mutex
+	// deques of identical policy (ablation for lock-free-ness).
+	LockedDeque bool
+}
+
+// WorkSteal implements the work-stealing strategy (paper §V-C): every
+// worker owns a deque holding only *ready* nodes (all dependencies met).
+// Owners push and pop at the bottom (LIFO, cache-warm), thieves steal
+// from the top (FIFO, oldest node — the one most likely to unlock further
+// work). At cycle start each worker seeds its deque with the source nodes
+// of "its" mixer sections; when a worker finishes a node it resolves the
+// successors' dependency counters and pushes newly ready nodes locally.
+// A worker with an empty deque steals; it sleeps only when every deque is
+// empty and nodes remain blocked — exactly the behaviour in Fig. 11.
+type WorkSteal struct {
+	plan    *graph.Plan
+	threads int
+	tracer  *Tracer
+	opts    WSOptions
+
+	deques  []dequeIface
+	initial [][]int32 // per-worker source nodes, seeded each cycle
+
+	pending   []atomic.Int32
+	remaining atomic.Int32
+
+	// Parking: a worker that finds no work takes mu, re-verifies under
+	// the lock, and waits on cond; pushers bump pushEpoch and broadcast
+	// when idlers are present.
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pushEpoch uint64
+	idlers    atomic.Int32
+
+	start  []chan struct{}
+	doneCh chan struct{}
+	closed atomic.Bool
+
+	// steals counts successful steals (diagnostics/ablation output).
+	steals atomic.Int64
+	// parks counts times a worker actually slept mid-cycle.
+	parks atomic.Int64
+}
+
+// NewWorkSteal returns a work-stealing scheduler with the paper's
+// configuration.
+func NewWorkSteal(p *graph.Plan, threads int) (*WorkSteal, error) {
+	return NewWorkStealOpts(p, threads, WSOptions{})
+}
+
+// NewWorkStealOpts returns a work-stealing scheduler with explicit
+// options.
+func NewWorkStealOpts(p *graph.Plan, threads int, opts WSOptions) (*WorkSteal, error) {
+	if err := checkThreads(p, threads); err != nil {
+		return nil, err
+	}
+	s := &WorkSteal{
+		plan:    p,
+		threads: threads,
+		opts:    opts,
+		deques:  make([]dequeIface, threads),
+		pending: make([]atomic.Int32, p.Len()),
+		start:   make([]chan struct{}, threads),
+		doneCh:  make(chan struct{}, threads),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for w := 0; w < threads; w++ {
+		if opts.LockedDeque {
+			s.deques[w] = NewLockedDeque(p.Len() + 1)
+		} else {
+			s.deques[w] = NewDeque(p.Len() + 1)
+		}
+		s.start[w] = make(chan struct{}, 1)
+	}
+	s.initial = initialSources(p, threads, opts.RoundRobinInit)
+	for w := 1; w < threads; w++ {
+		go s.worker(int32(w))
+	}
+	return s, nil
+}
+
+// initialSources assigns the dependency-free nodes to workers. With
+// locality (default), all sources of one mixer section land on the same
+// worker ("this supports data locality as nodes from the same section
+// work on the same audio data"); otherwise plain round-robin.
+func initialSources(p *graph.Plan, threads int, roundRobin bool) [][]int32 {
+	out := make([][]int32, threads)
+	if roundRobin {
+		for i, id := range p.Sources() {
+			w := i % threads
+			out[w] = append(out[w], id)
+		}
+		return out
+	}
+	// Deterministic section order: decks A..D, master, control.
+	sections := []graph.Section{
+		graph.SectionDeckA, graph.SectionDeckB, graph.SectionDeckC,
+		graph.SectionDeckD, graph.SectionMaster, graph.SectionControl,
+	}
+	w := 0
+	for _, sec := range sections {
+		srcs := p.SourcesBySection[sec]
+		if len(srcs) == 0 {
+			continue
+		}
+		out[w%threads] = append(out[w%threads], srcs...)
+		w++
+	}
+	return out
+}
+
+// Name implements Scheduler.
+func (s *WorkSteal) Name() string { return NameWorkSteal }
+
+// Threads implements Scheduler.
+func (s *WorkSteal) Threads() int { return s.threads }
+
+// SetTracer implements Scheduler.
+func (s *WorkSteal) SetTracer(t *Tracer) { s.tracer = t }
+
+// Steals returns the cumulative successful steal count.
+func (s *WorkSteal) Steals() int64 { return s.steals.Load() }
+
+// Parks returns the cumulative mid-cycle sleep count.
+func (s *WorkSteal) Parks() int64 { return s.parks.Load() }
+
+// worker sleeps between cycles and joins the stealing pool when
+// signalled.
+func (s *WorkSteal) worker(w int32) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	for range s.start[w] {
+		if s.closed.Load() {
+			return
+		}
+		s.runCycle(w)
+		s.doneCh <- struct{}{}
+	}
+}
+
+// runCycle is one worker's participation in a graph iteration.
+func (s *WorkSteal) runCycle(w int32) {
+	// Seed the local deque with this worker's sources. Each worker seeds
+	// its own deque, keeping deque pushes owner-only.
+	for _, id := range s.initial[w] {
+		s.deques[w].PushBottom(id)
+	}
+	failedRounds := 0
+	for s.remaining.Load() > 0 {
+		id, ok := s.deques[w].PopBottom()
+		if !ok {
+			id, ok = s.trySteal(w)
+		}
+		if !ok {
+			failedRounds++
+			if failedRounds < 64 {
+				runtime.Gosched()
+				continue
+			}
+			s.park()
+			failedRounds = 0
+			continue
+		}
+		failedRounds = 0
+		s.execute(id, w)
+	}
+}
+
+// execute runs node id and resolves its successors.
+func (s *WorkSteal) execute(id, w int32) {
+	runNode(s.plan, s.tracer, id, w)
+	pushed := false
+	for _, succ := range s.plan.Succs[id] {
+		if s.pending[succ].Add(-1) == 0 {
+			// Newly ready: keep it local (LIFO, cache-warm).
+			s.deques[w].PushBottom(succ)
+			pushed = true
+		}
+	}
+	if s.remaining.Add(-1) == 0 {
+		s.wakeAll() // cycle complete: release any sleepers
+		return
+	}
+	if pushed && s.idlers.Load() > 0 {
+		s.wakeAll()
+	}
+}
+
+// trySteal scans the other workers' deques starting after w.
+func (s *WorkSteal) trySteal(w int32) (int32, bool) {
+	for i := 1; i < s.threads; i++ {
+		v := (int(w) + i) % s.threads
+		if id, ok := s.deques[v].Steal(); ok {
+			s.steals.Add(1)
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// park sleeps until new work is published or the cycle completes. The
+// re-verification under the lock closes the race against concurrent
+// pushers: a pusher either sees our idler registration and broadcasts, or
+// we see its pushed node in the deque scan.
+func (s *WorkSteal) park() {
+	s.mu.Lock()
+	// Register as idle BEFORE scanning the deques: a concurrent pusher
+	// either loads idlers >= 1 after its push (and broadcasts), or its
+	// push completed before our registration and the scan below sees it.
+	s.idlers.Add(1)
+	epoch := s.pushEpoch
+	if s.remaining.Load() == 0 || s.anyWork() {
+		s.idlers.Add(-1)
+		s.mu.Unlock()
+		return
+	}
+	s.parks.Add(1)
+	for s.pushEpoch == epoch && s.remaining.Load() > 0 {
+		s.cond.Wait()
+	}
+	s.idlers.Add(-1)
+	s.mu.Unlock()
+}
+
+// anyWork reports whether any deque currently has a stealable node.
+func (s *WorkSteal) anyWork() bool {
+	for _, d := range s.deques {
+		if !d.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// wakeAll bumps the push epoch and wakes all parked workers.
+func (s *WorkSteal) wakeAll() {
+	s.mu.Lock()
+	s.pushEpoch++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Execute implements Scheduler. The caller acts as worker 0.
+func (s *WorkSteal) Execute() {
+	if s.tracer != nil {
+		s.tracer.BeginCycle()
+	}
+	for i := range s.pending {
+		s.pending[i].Store(s.plan.Indegree[i])
+	}
+	s.remaining.Store(int32(s.plan.Len()))
+	for w := 1; w < s.threads; w++ {
+		s.start[w] <- struct{}{}
+	}
+	s.runCycle(0)
+	for w := 1; w < s.threads; w++ {
+		<-s.doneCh
+	}
+}
+
+// Close implements Scheduler.
+func (s *WorkSteal) Close() {
+	s.closed.Store(true)
+	for w := 1; w < s.threads; w++ {
+		close(s.start[w])
+	}
+}

@@ -1,0 +1,45 @@
+package settings
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"djstar/internal/graph"
+	"djstar/internal/sched"
+)
+
+// FuzzLoad ensures arbitrary JSON never panics the loader, and that
+// anything it accepts can be applied to a session and re-saved.
+func FuzzLoad(f *testing.F) {
+	// Seed with a real settings file.
+	cfg := graph.DefaultConfig()
+	cfg.TrackBars = 2
+	s, _, err := graph.BuildDJStar(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Capture(s, sched.NameBusyWait, 4).Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"strategy":"ws","threads":2}`)
+	f.Add(`{}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"version":1,"strategy":"busy","threads":4,"decks":[{"tempo":1e308}]}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		st, err := Load(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		// Accepted settings must apply cleanly (clamping handles extreme
+		// values) and round-trip through Save.
+		st.Apply(s)
+		var out bytes.Buffer
+		if err := st.Save(&out); err != nil {
+			t.Fatalf("accepted settings failed to save: %v", err)
+		}
+	})
+}

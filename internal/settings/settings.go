@@ -1,0 +1,162 @@
+// Package settings implements the Settings component of DJ Star's Core
+// layer (paper Fig. 2): a serializable snapshot of the user-facing
+// configuration — scheduler choice, mixer state, deck parameters, effect
+// knobs — that can be saved to disk and re-applied to a live session.
+package settings
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"djstar/internal/graph"
+	"djstar/internal/sched"
+)
+
+// Settings is the persisted application state.
+type Settings struct {
+	// Version guards against incompatible files.
+	Version int `json:"version"`
+
+	// Strategy and Threads select the scheduler.
+	Strategy string `json:"strategy"`
+	Threads  int    `json:"threads"`
+
+	// Mixer state.
+	Crossfade   float64 `json:"crossfade"`
+	MasterLevel float64 `json:"masterLevel"`
+
+	// Decks and Channels are indexed together (deck d feeds channel d).
+	Decks    []DeckSettings    `json:"decks"`
+	Channels []ChannelSettings `json:"channels"`
+}
+
+// DeckSettings is one deck's persisted state.
+type DeckSettings struct {
+	Tempo   float64 `json:"tempo"`
+	KeyLock bool    `json:"keyLock"`
+	// FX holds macro/wet per effect unit.
+	FX []FXSettings `json:"fx"`
+}
+
+// FXSettings is one effect unit's knob state.
+type FXSettings struct {
+	Macro float64 `json:"macro"`
+	Wet   float64 `json:"wet"`
+}
+
+// ChannelSettings is one channel strip's persisted state.
+type ChannelSettings struct {
+	Fader  float64 `json:"fader"`
+	EQLow  float64 `json:"eqLow"`
+	EQMid  float64 `json:"eqMid"`
+	EQHigh float64 `json:"eqHigh"`
+	Cue    bool    `json:"cue"`
+}
+
+// CurrentVersion is the settings schema version this build writes.
+const CurrentVersion = 1
+
+// Capture snapshots a live session plus the scheduler selection.
+func Capture(s *graph.Session, strategy string, threads int) *Settings {
+	out := &Settings{
+		Version:     CurrentVersion,
+		Strategy:    strategy,
+		Threads:     threads,
+		Crossfade:   s.Mix.Crossfade(),
+		MasterLevel: s.Mix.MasterLevel(),
+	}
+	for d, dk := range s.Decks {
+		ds := DeckSettings{Tempo: dk.Tempo(), KeyLock: dk.KeyLock()}
+		for _, fx := range s.FX[d] {
+			ds.FX = append(ds.FX, FXSettings{Macro: fx.Macro()})
+		}
+		out.Decks = append(out.Decks, ds)
+
+		low, mid, high := s.Strips[d].EQGains()
+		out.Channels = append(out.Channels, ChannelSettings{
+			Fader:  s.Strips[d].Fader(),
+			EQLow:  low,
+			EQMid:  mid,
+			EQHigh: high,
+			Cue:    s.Strips[d].Cue(),
+		})
+	}
+	return out
+}
+
+// Apply writes the settings into a live session. Extra persisted decks or
+// FX slots beyond what the session has are ignored; missing ones keep the
+// session's current values.
+func (st *Settings) Apply(s *graph.Session) {
+	s.Mix.SetCrossfade(st.Crossfade)
+	s.Mix.SetMasterLevel(st.MasterLevel)
+	for d, ds := range st.Decks {
+		if d >= len(s.Decks) {
+			break
+		}
+		s.Decks[d].SetTempo(ds.Tempo)
+		s.Decks[d].SetKeyLock(ds.KeyLock)
+		for j, fx := range ds.FX {
+			if j >= len(s.FX[d]) {
+				break
+			}
+			s.FX[d][j].SetMacro(fx.Macro)
+			if fx.Wet > 0 {
+				s.FX[d][j].SetWet(fx.Wet)
+			}
+		}
+	}
+	for c, cs := range st.Channels {
+		if c >= len(s.Strips) {
+			break
+		}
+		s.Strips[c].SetFader(cs.Fader)
+		s.Strips[c].SetEQ(cs.EQLow, cs.EQMid, cs.EQHigh)
+		s.Strips[c].SetCue(cs.Cue)
+	}
+}
+
+// Validate checks the loaded settings for usability.
+func (st *Settings) Validate() error {
+	if st.Version != CurrentVersion {
+		return fmt.Errorf("settings: version %d, this build reads %d", st.Version, CurrentVersion)
+	}
+	valid := st.Strategy == sched.NameStatic || st.Strategy == sched.NameSleepScan
+	for _, s := range sched.Strategies {
+		if st.Strategy == s {
+			valid = true
+		}
+	}
+	if !valid {
+		return fmt.Errorf("settings: unknown strategy %q", st.Strategy)
+	}
+	if st.Threads < 1 || st.Threads > 64 {
+		return fmt.Errorf("settings: threads = %d out of range", st.Threads)
+	}
+	return nil
+}
+
+// Save writes the settings as indented JSON.
+func (st *Settings) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(st); err != nil {
+		return fmt.Errorf("settings: encoding: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates settings from JSON.
+func Load(r io.Reader) (*Settings, error) {
+	var st Settings
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&st); err != nil {
+		return nil, fmt.Errorf("settings: decoding: %w", err)
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

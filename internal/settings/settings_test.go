@@ -1,0 +1,116 @@
+package settings
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"djstar/internal/graph"
+	"djstar/internal/sched"
+)
+
+func testSession(t *testing.T) *graph.Session {
+	t.Helper()
+	cfg := graph.DefaultConfig()
+	cfg.TrackBars = 2
+	s, _, err := graph.BuildDJStar(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCaptureApplyRoundTrip(t *testing.T) {
+	src := testSession(t)
+	src.Mix.SetCrossfade(0.3)
+	src.Mix.SetMasterLevel(0.8)
+	src.Decks[1].SetTempo(1.07)
+	src.Decks[1].SetKeyLock(true)
+	src.FX[2][0].SetMacro(0.66)
+	src.Strips[3].SetFader(0.4)
+	src.Strips[3].SetEQ(-10, 2, 5)
+	src.Strips[0].SetCue(true)
+
+	st := Capture(src, sched.NameBusyWait, 4)
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := testSession(t)
+	loaded.Apply(dst)
+
+	if dst.Mix.Crossfade() != 0.3 || dst.Mix.MasterLevel() != 0.8 {
+		t.Fatalf("mixer state %v/%v", dst.Mix.Crossfade(), dst.Mix.MasterLevel())
+	}
+	if got := dst.Decks[1].Tempo(); math.Abs(got-1.07) > 1e-9 {
+		t.Fatalf("tempo = %v", got)
+	}
+	if !dst.Decks[1].KeyLock() {
+		t.Fatal("keylock lost")
+	}
+	if got := dst.FX[2][0].Macro(); math.Abs(got-0.66) > 1e-9 {
+		t.Fatalf("macro = %v", got)
+	}
+	if got := dst.Strips[3].Fader(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("fader = %v", got)
+	}
+	low, mid, high := dst.Strips[3].EQGains()
+	if math.Abs(low+10) > 1e-9 || math.Abs(mid-2) > 1e-9 || math.Abs(high-5) > 1e-9 {
+		t.Fatalf("EQ = %v/%v/%v", low, mid, high)
+	}
+	if !dst.Strips[0].Cue() {
+		t.Fatal("cue lost")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"unknown field": `{"version":1,"strategy":"busy","threads":4,"bogus":1}`,
+		"bad version":   `{"version":99,"strategy":"busy","threads":4}`,
+		"bad strategy":  `{"version":1,"strategy":"nope","threads":4}`,
+		"bad threads":   `{"version":1,"strategy":"busy","threads":0}`,
+	}
+	for name, body := range cases {
+		if _, err := Load(strings.NewReader(body)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestApplyToleratesShapeMismatch(t *testing.T) {
+	// Settings captured from a 4-deck session applied to a 2-deck one.
+	src := testSession(t)
+	st := Capture(src, sched.NameWorkSteal, 2)
+
+	cfg := graph.DefaultConfig()
+	cfg.Decks = 2
+	cfg.TrackBars = 2
+	small, _, err := graph.BuildDJStar(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Apply(small) // must not panic
+
+	// And the reverse: fewer persisted decks than session decks.
+	st.Decks = st.Decks[:1]
+	st.Channels = st.Channels[:1]
+	st.Apply(src)
+}
+
+func TestStaticStrategyValidates(t *testing.T) {
+	st := &Settings{Version: 1, Strategy: sched.NameStatic, Threads: 4}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ASCII rendering for the harness output: histograms (Fig. 9), cumulative
+// histograms (Fig. 10), Gantt charts of schedule realizations (Fig. 11)
+// and concurrency profiles (Fig. 4). All renderers return a string ending
+// in a newline.
+
+// RenderHistogram draws h as horizontal bars, one row per bin, labeled
+// with the bin center.
+func RenderHistogram(h *Histogram, title string, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", title, h.Total())
+	maxBin := h.MaxBin()
+	if maxBin == 0 {
+		maxBin = 1
+	}
+	for i, c := range h.Bins() {
+		bar := int(float64(c) / float64(maxBin) * float64(width))
+		fmt.Fprintf(&b, "%9.4f | %-*s %d\n", h.BinCenter(i), width,
+			strings.Repeat("#", bar), c)
+	}
+	under, over := h.OutOfRange()
+	if under > 0 || over > 0 {
+		fmt.Fprintf(&b, "   (out of range: %d below, %d above)\n", under, over)
+	}
+	return b.String()
+}
+
+// RenderCumulative draws the cumulative histogram of h.
+func RenderCumulative(h *Histogram, title string, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s cumulative (n=%d)\n", title, h.Total())
+	cum := h.Cumulative()
+	total := h.Total()
+	if total == 0 {
+		total = 1
+	}
+	for i, c := range cum {
+		bar := int(float64(c) / float64(total) * float64(width))
+		fmt.Fprintf(&b, "%9.4f | %-*s %5.1f%%\n", h.BinCenter(i), width,
+			strings.Repeat("#", bar), 100*float64(c)/float64(total))
+	}
+	return b.String()
+}
+
+// GanttTask is one scheduled execution for RenderGantt.
+type GanttTask struct {
+	Name       string
+	Worker     int
+	Start, End float64
+}
+
+// RenderGantt draws a schedule realization as one row per worker, with
+// '#' for executing time, '.' for waiting/idle gaps between executions,
+// and node labels above their bars where space allows — a textual Fig. 11.
+func RenderGantt(tasks []GanttTask, title string, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	var b strings.Builder
+	var makespan float64
+	workers := 0
+	for _, t := range tasks {
+		if t.End > makespan {
+			makespan = t.End
+		}
+		if t.Worker+1 > workers {
+			workers = t.Worker + 1
+		}
+	}
+	fmt.Fprintf(&b, "%s (makespan %.1f, %d workers)\n", title, makespan, workers)
+	if makespan <= 0 || workers == 0 {
+		return b.String()
+	}
+	scale := float64(width) / makespan
+
+	byWorker := make([][]GanttTask, workers)
+	for _, t := range tasks {
+		byWorker[t.Worker] = append(byWorker[t.Worker], t)
+	}
+	for w := range byWorker {
+		sort.Slice(byWorker[w], func(a, b int) bool {
+			return byWorker[w][a].Start < byWorker[w][b].Start
+		})
+	}
+
+	for w := workers - 1; w >= 0; w-- {
+		row := make([]byte, width)
+		labels := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+			labels[i] = ' '
+		}
+		cursor := 0.0
+		for _, t := range byWorker[w] {
+			s := int(t.Start * scale)
+			e := int(t.End * scale)
+			if e >= width {
+				e = width - 1
+			}
+			// Waiting gap before this node.
+			g := int(cursor * scale)
+			for i := g; i < s && i < width; i++ {
+				row[i] = '.'
+			}
+			for i := s; i <= e && i < width; i++ {
+				row[i] = '#'
+			}
+			// Label if it fits above the bar.
+			if e-s >= len(t.Name) {
+				copy(labels[s:], t.Name)
+			}
+			cursor = t.End
+		}
+		fmt.Fprintf(&b, "      %s\n", string(labels))
+		fmt.Fprintf(&b, "T%-3d |%s|\n", w, string(row))
+	}
+	fmt.Fprintf(&b, "      %-*s%.1f\n", width-4, "0", makespan)
+	return b.String()
+}
+
+// RenderProfile draws a concurrency-over-time profile (Fig. 4): one column
+// per sample, height proportional to the concurrency level.
+func RenderProfile(profile []int, title string, height int) string {
+	if height < 4 {
+		height = 4
+	}
+	var b strings.Builder
+	peak := 0
+	for _, c := range profile {
+		if c > peak {
+			peak = c
+		}
+	}
+	fmt.Fprintf(&b, "%s (peak %d)\n", title, peak)
+	if peak == 0 || len(profile) == 0 {
+		return b.String()
+	}
+	for row := height; row >= 1; row-- {
+		threshold := float64(row) / float64(height) * float64(peak)
+		line := make([]byte, len(profile))
+		for i, c := range profile {
+			if float64(c) >= threshold {
+				line[i] = '#'
+			} else {
+				line[i] = ' '
+			}
+		}
+		fmt.Fprintf(&b, "%4.0f |%s\n", threshold, string(line))
+	}
+	fmt.Fprintf(&b, "     +%s\n", strings.Repeat("-", len(profile)))
+	return b.String()
+}
+
+// RenderTable formats rows as a fixed-width table with a header.
+func RenderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

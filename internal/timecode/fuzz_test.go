@@ -1,0 +1,51 @@
+package timecode
+
+import (
+	"math"
+	"testing"
+
+	"djstar/internal/audio"
+)
+
+// FuzzDecoder feeds arbitrary byte-derived signals into the decoder: it
+// must never panic and never report a nonsensical speed, no matter how
+// garbled the "vinyl" signal is (a real deck sees dust, scratches and
+// unplugged inputs).
+func FuzzDecoder(f *testing.F) {
+	// Seeds: silence, a valid signal, random noise.
+	valid := make([]byte, 64)
+	for i := range valid {
+		valid[i] = byte(i * 37)
+	}
+	f.Add(make([]byte, 32))
+	f.Add(valid)
+	f.Add([]byte{255, 0, 255, 0, 128})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(sharedSeq, audio.SampleRate)
+		l := make([]float64, audio.PacketSize)
+		r := make([]float64, audio.PacketSize)
+		// Expand fuzz bytes into a few packets of signal in [-1, 1].
+		for p := 0; p < 4; p++ {
+			for i := range l {
+				idx := p*audio.PacketSize + i
+				var b byte
+				if len(data) > 0 {
+					b = data[idx%len(data)]
+				}
+				l[i] = (float64(b)/127.5 - 1)
+				r[i] = (float64(b^0x55)/127.5 - 1)
+			}
+			d.Decode(l, r)
+		}
+		if sp := d.Speed(); math.IsNaN(sp) || math.IsInf(sp, 0) || sp < 0 {
+			t.Fatalf("speed = %v", sp)
+		}
+		if dir := d.Direction(); dir < -1 || dir > 1 {
+			t.Fatalf("direction = %d", dir)
+		}
+		if pos, ok := d.Position(); ok && int(pos) >= sharedSeq.Len() {
+			t.Fatalf("position %d out of range", pos)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package timestretch
+
+import (
+	"math"
+	"testing"
+
+	"djstar/internal/audio"
+	"djstar/internal/synth"
+)
+
+// dominantFreq estimates the dominant frequency of buf by counting zero
+// crossings.
+func dominantFreq(buf []float64, rate int) float64 {
+	crossings := 0
+	for i := 1; i < len(buf); i++ {
+		if (buf[i-1] < 0 && buf[i] >= 0) || (buf[i-1] > 0 && buf[i] <= 0) {
+			crossings++
+		}
+	}
+	return float64(crossings) / 2 / (float64(len(buf)) / float64(rate))
+}
+
+func TestNewPhaseVocoderValidation(t *testing.T) {
+	if _, err := NewPhaseVocoder(1000, 1); err == nil {
+		t.Fatal("non-power-of-two frame accepted")
+	}
+	if _, err := NewPhaseVocoder(32, 1); err == nil {
+		t.Fatal("too-small frame accepted")
+	}
+	if _, err := NewPhaseVocoder(1024, 1.5); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestRatioClamping(t *testing.T) {
+	pv, _ := NewPhaseVocoder(256, 100)
+	if pv.Ratio() != MaxRatio {
+		t.Fatalf("ratio = %v, want clamped to %v", pv.Ratio(), MaxRatio)
+	}
+	pv.SetRatio(0.001)
+	if pv.Ratio() != MinRatio {
+		t.Fatalf("ratio = %v, want clamped to %v", pv.Ratio(), MinRatio)
+	}
+	w, _ := NewWSOLA(512, 0)
+	if w.Ratio() != MinRatio {
+		t.Fatalf("WSOLA ratio = %v, want %v", w.Ratio(), MinRatio)
+	}
+}
+
+func TestStretcherNames(t *testing.T) {
+	pv, _ := NewPhaseVocoder(256, 1)
+	w, _ := NewWSOLA(256, 1)
+	if pv.Name() != "pvoc" || w.Name() != "wsola" {
+		t.Fatalf("names: %q %q", pv.Name(), w.Name())
+	}
+	var _ Stretcher = pv
+	var _ Stretcher = w
+}
+
+func TestPhaseVocoderLength(t *testing.T) {
+	const rate = audio.SampleRate
+	src := synth.SineBuffer(440, rate, rate) // 1 s
+	for _, ratio := range []float64{0.5, 1.0, 2.0} {
+		pv, _ := NewPhaseVocoder(1024, ratio)
+		out := pv.Stretch(src)
+		want := int(float64(len(src)) * ratio)
+		if math.Abs(float64(len(out)-want)) > float64(want)/20+2048 {
+			t.Fatalf("ratio %v: out length %d, want ~%d", ratio, len(out), want)
+		}
+	}
+}
+
+func TestPhaseVocoderPreservesPitch(t *testing.T) {
+	const rate = audio.SampleRate
+	src := synth.SineBuffer(440, rate, rate)
+	for _, ratio := range []float64{0.75, 1.5, 2.0} {
+		pv, _ := NewPhaseVocoder(1024, ratio)
+		out := pv.Stretch(src)
+		// Skip the edges where overlap-add is partial.
+		mid := out[len(out)/4 : 3*len(out)/4]
+		f := dominantFreq(mid, rate)
+		if math.Abs(f-440) > 15 {
+			t.Fatalf("ratio %v: dominant freq %v Hz, want ~440", ratio, f)
+		}
+	}
+}
+
+func TestPhaseVocoderUnityRoughlyTransparent(t *testing.T) {
+	const rate = audio.SampleRate
+	src := synth.SineBuffer(440, rate/2, rate)
+	pv, _ := NewPhaseVocoder(1024, 1)
+	out := pv.Stretch(src)
+	// Compare RMS over the stable middle region.
+	srcMid := audio.Buffer(src[len(src)/4 : 3*len(src)/4]).RMS()
+	outMid := audio.Buffer(out[len(out)/4 : 3*len(out)/4]).RMS()
+	if math.Abs(outMid-srcMid)/srcMid > 0.15 {
+		t.Fatalf("unity stretch RMS changed: %v -> %v", srcMid, outMid)
+	}
+}
+
+func TestWSOLALength(t *testing.T) {
+	const rate = audio.SampleRate
+	src := synth.SineBuffer(220, rate, rate)
+	for _, ratio := range []float64{0.5, 1.0, 1.8} {
+		w, _ := NewWSOLA(512, ratio)
+		out := w.Stretch(src)
+		want := int(float64(len(src)) * ratio)
+		if math.Abs(float64(len(out)-want)) > float64(want)/10+1024 {
+			t.Fatalf("ratio %v: out length %d, want ~%d", ratio, len(out), want)
+		}
+	}
+}
+
+func TestWSOLAPreservesPitch(t *testing.T) {
+	const rate = audio.SampleRate
+	src := synth.SineBuffer(330, rate, rate)
+	for _, ratio := range []float64{0.7, 1.4} {
+		w, _ := NewWSOLA(512, ratio)
+		out := w.Stretch(src)
+		mid := out[len(out)/4 : 3*len(out)/4]
+		f := dominantFreq(mid, rate)
+		if math.Abs(f-330) > 20 {
+			t.Fatalf("ratio %v: dominant freq %v, want ~330", ratio, f)
+		}
+	}
+}
+
+func TestWSOLAOutputBounded(t *testing.T) {
+	src := synth.WhiteNoise(44100, 0.9, 5)
+	w, _ := NewWSOLA(512, 1.3)
+	out := w.Stretch(src)
+	for i, s := range out {
+		if math.IsNaN(s) || math.Abs(s) > 2 {
+			t.Fatalf("sample %d = %v", i, s)
+		}
+	}
+}
+
+func TestWSOLAValidation(t *testing.T) {
+	if _, err := NewWSOLA(8, 1); err == nil {
+		t.Fatal("tiny frame accepted")
+	}
+}
+
+func TestWSOLAResetAndReuse(t *testing.T) {
+	src := synth.SineBuffer(440, 22050, 44100)
+	w, _ := NewWSOLA(512, 1.2)
+	a := w.Stretch(src)
+	w.Reset()
+	b := w.Stretch(src)
+	if len(a) != len(b) {
+		t.Fatalf("reuse changed output length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reuse not deterministic at %d", i)
+		}
+	}
+}
+
+func TestStretchEmptyAndShortInputs(t *testing.T) {
+	pv, _ := NewPhaseVocoder(256, 1.5)
+	if out := pv.Stretch(nil); len(out) != 0 {
+		t.Fatalf("empty input gave %d samples", len(out))
+	}
+	if out := pv.Stretch(make([]float64, 100)); len(out) > 150 {
+		t.Fatalf("short input gave %d samples", len(out))
+	}
+	w, _ := NewWSOLA(512, 1.5)
+	if out := w.Stretch(make([]float64, 10)); len(out) > 15 {
+		t.Fatalf("short WSOLA input gave %d samples", len(out))
+	}
+}
+
+func TestWSOLASetRatioAndPvocReset(t *testing.T) {
+	w, _ := NewWSOLA(256, 1)
+	w.SetRatio(2)
+	if w.Ratio() != 2 {
+		t.Fatalf("SetRatio gave %v", w.Ratio())
+	}
+	pv, _ := NewPhaseVocoder(256, 1)
+	pv.Reset() // no state; must be a safe no-op
+}

@@ -1,0 +1,175 @@
+// Package ui implements the User Interface layer of the paper's Fig. 2
+// ("GUI", "Waveform", "Devices Representation") as a terminal dashboard.
+// Faithful to the architecture, it never touches the Core directly: it
+// consumes middleware events and renders from its own view model, so a
+// slow or stalled UI cannot perturb the 2.9 ms audio cycle.
+package ui
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"djstar/internal/audio"
+	"djstar/internal/library"
+	"djstar/internal/middleware"
+)
+
+// DeckView is the UI's model of one deck.
+type DeckView struct {
+	Seconds float64
+	Tempo   float64
+	Playing bool
+	// BeatFlash counts down after a beat event to blink the beat lamp.
+	BeatFlash int
+}
+
+// Model is the UI view model, updated from bus events.
+type Model struct {
+	mu     sync.Mutex
+	decks  []DeckView
+	master middleware.MeterLevels
+	misses int
+	ctrl   string // last control move, for the status line
+	events int64
+}
+
+// NewModel returns a view model for the given deck count.
+func NewModel(decks int) *Model {
+	return &Model{decks: make([]DeckView, decks)}
+}
+
+// Apply folds one middleware event into the model. Unknown topics are
+// ignored (forward compatibility).
+func (m *Model) Apply(ev middleware.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events++
+	switch p := ev.Payload.(type) {
+	case middleware.DeckPosition:
+		if p.Deck >= 0 && p.Deck < len(m.decks) {
+			d := &m.decks[p.Deck]
+			d.Seconds = p.Seconds
+			d.Tempo = p.Tempo
+			d.Playing = p.Playing
+		}
+	case middleware.Beat:
+		if p.Deck >= 0 && p.Deck < len(m.decks) {
+			m.decks[p.Deck].BeatFlash = 3
+		}
+	case middleware.MeterLevels:
+		if p.Source == "master" {
+			m.master = p
+		}
+	case middleware.DeadlineMiss:
+		m.misses++
+	default:
+		if ev.Topic == middleware.TopicControl {
+			m.ctrl = fmt.Sprint(ev.Payload)
+		}
+	}
+}
+
+// Drain applies every queued event from a subscription without blocking.
+func (m *Model) Drain(sub *middleware.Subscription) {
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			m.Apply(ev)
+		default:
+			return
+		}
+	}
+}
+
+// Events returns how many events the model has consumed.
+func (m *Model) Events() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}
+
+// Render draws the dashboard. Width controls the meter bar length.
+func (m *Model) Render(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var b strings.Builder
+	for i := range m.decks {
+		d := &m.decks[i]
+		state := "❚❚"
+		if d.Playing {
+			state = "▶ "
+		}
+		lamp := " "
+		if d.BeatFlash > 0 {
+			lamp = "●"
+			d.BeatFlash--
+		}
+		fmt.Fprintf(&b, "deck %c %s %s %7.1fs  %5.2fx\n",
+			'A'+i, state, lamp, d.Seconds, d.Tempo)
+	}
+	fmt.Fprintf(&b, "master %s\n", meterBar(m.master.Peak, m.master.RMS, width))
+	if m.ctrl != "" {
+		fmt.Fprintf(&b, "last control: %s\n", m.ctrl)
+	}
+	if m.misses > 0 {
+		fmt.Fprintf(&b, "DEADLINE MISSES: %d\n", m.misses)
+	}
+	return b.String()
+}
+
+// meterBar draws a level meter: '=' up to the RMS, '-' up to the peak.
+func meterBar(peak, rms float64, width int) string {
+	clamp := func(x float64) int {
+		n := int(audio.Clamp(x, 0, 1) * float64(width))
+		if n > width {
+			n = width
+		}
+		return n
+	}
+	p, r := clamp(peak), clamp(rms)
+	if r > p {
+		r = p
+	}
+	bar := make([]byte, width)
+	for i := range bar {
+		switch {
+		case i < r:
+			bar[i] = '='
+		case i < p:
+			bar[i] = '-'
+		default:
+			bar[i] = ' '
+		}
+	}
+	return "[" + string(bar) + "]"
+}
+
+// WaveformCursor renders a track overview with a playhead marker at the
+// given position — the UI's waveform strip.
+func WaveformCursor(ov library.Overview, posFrac float64, height int) string {
+	base := ov.Render(height)
+	lines := strings.Split(strings.TrimRight(base, "\n"), "\n")
+	if len(lines) == 0 || len(ov.Peak) == 0 {
+		return base
+	}
+	col := int(audio.Clamp(posFrac, 0, 1) * float64(len(ov.Peak)-1))
+	var b strings.Builder
+	for _, line := range lines {
+		row := []byte(line)
+		for len(row) <= col {
+			row = append(row, ' ')
+		}
+		row[col] = '|'
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

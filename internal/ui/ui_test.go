@@ -1,0 +1,113 @@
+package ui
+
+import (
+	"strings"
+	"testing"
+
+	"djstar/internal/audio"
+	"djstar/internal/library"
+	"djstar/internal/middleware"
+)
+
+func TestModelAppliesEvents(t *testing.T) {
+	m := NewModel(2)
+	m.Apply(middleware.Event{Payload: middleware.DeckPosition{
+		Deck: 0, Seconds: 12.5, Tempo: 1.02, Playing: true,
+	}})
+	m.Apply(middleware.Event{Payload: middleware.MeterLevels{
+		Source: "master", Peak: 0.8, RMS: 0.4,
+	}})
+	m.Apply(middleware.Event{Payload: middleware.Beat{Deck: 0}})
+	m.Apply(middleware.Event{Payload: middleware.DeadlineMiss{DurationMS: 3.5}})
+	m.Apply(middleware.Event{Topic: middleware.TopicControl, Payload: "crossfader=0.500"})
+
+	out := m.Render(30)
+	for _, want := range []string{"12.5s", "1.02x", "▶", "●", "=", "DEADLINE MISSES: 1", "crossfader"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if m.Events() != 5 {
+		t.Fatalf("Events = %d", m.Events())
+	}
+}
+
+func TestModelIgnoresOutOfRangeDecks(t *testing.T) {
+	m := NewModel(1)
+	m.Apply(middleware.Event{Payload: middleware.DeckPosition{Deck: 7}})
+	m.Apply(middleware.Event{Payload: middleware.Beat{Deck: -1}})
+	// Must not panic; rendering still works.
+	if m.Render(20) == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestBeatFlashDecays(t *testing.T) {
+	m := NewModel(1)
+	m.Apply(middleware.Event{Payload: middleware.Beat{Deck: 0}})
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(m.Render(20), "●") {
+			t.Fatalf("lamp off after %d renders", i)
+		}
+	}
+	if strings.Contains(m.Render(20), "●") {
+		t.Fatal("lamp stuck on")
+	}
+}
+
+func TestModelDrain(t *testing.T) {
+	bus := middleware.New()
+	sub, _ := bus.Subscribe(middleware.TopicDeckPosition, 16)
+	m := NewModel(4)
+	for i := 0; i < 5; i++ {
+		bus.Publish(middleware.TopicDeckPosition, middleware.DeckPosition{Deck: i % 4})
+	}
+	m.Drain(sub)
+	if m.Events() != 5 {
+		t.Fatalf("drained %d events", m.Events())
+	}
+	// Draining an empty queue returns immediately.
+	m.Drain(sub)
+	sub.Unsubscribe()
+	m.Drain(sub) // closed channel is safe
+}
+
+func TestMeterBarShape(t *testing.T) {
+	bar := meterBar(0.8, 0.4, 10)
+	if len(bar) != 12 { // width + brackets
+		t.Fatalf("bar length %d", len(bar))
+	}
+	if !strings.Contains(bar, "=") || !strings.Contains(bar, "-") {
+		t.Fatalf("bar = %q", bar)
+	}
+	// Peak beyond 1 clamps instead of overflowing.
+	if over := meterBar(5, 5, 10); len(over) != 12 {
+		t.Fatalf("clamped bar = %q", over)
+	}
+	// RMS above peak is capped at the peak.
+	if weird := meterBar(0.2, 0.9, 10); strings.Count(weird, "=") > 2 {
+		t.Fatalf("rms exceeded peak: %q", weird)
+	}
+}
+
+func TestWaveformCursor(t *testing.T) {
+	clip := audio.NewStereo(1000)
+	for i := range clip.L {
+		clip.L[i] = 0.5
+		clip.R[i] = 0.5
+	}
+	ov := library.BuildOverview(clip, 40)
+	out := WaveformCursor(ov, 0.5, 2)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("cursor render has %d lines", len(lines))
+	}
+	wantCol := int(0.5 * float64(len(ov.Peak)-1)) // same mapping as the renderer
+	for _, line := range lines {
+		if line[wantCol] != '|' {
+			t.Fatalf("cursor not at column %d: %q", wantCol, line)
+		}
+	}
+	// Degenerate overview.
+	WaveformCursor(library.Overview{}, 0.5, 2)
+}

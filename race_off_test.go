@@ -1,0 +1,5 @@
+//go:build !race
+
+package djstar
+
+const raceEnabled = false
