@@ -10,6 +10,7 @@ package djstar
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"djstar/internal/engine"
@@ -278,6 +279,48 @@ func BenchmarkAblationWS(b *testing.B) {
 				ws.Execute()
 			}
 		})
+	}
+}
+
+// BenchmarkPoolSession measures one APC cycle of a session on a shared
+// worker pool — the same unit as BenchmarkTable1's strategy cells, so
+// the shared-core claim protocol's overhead over the private-pool
+// strategies is directly comparable.
+func BenchmarkPoolSession(b *testing.B) {
+	e := newBenchEngine(b, sched.NamePool, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cycle(nil)
+	}
+}
+
+// BenchmarkMultiSession measures aggregate throughput of 4 concurrent
+// sessions over one shared pool: one op is one cycle of EVERY session,
+// driven concurrently — the multi-user capacity unit.
+func BenchmarkMultiSession(b *testing.B) {
+	const sessions = 4
+	m, err := engine.NewMulti(engine.Config{Graph: benchGraphConfig()}, sessions, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(m.Close)
+	for _, e := range m.Engines() {
+		for i := 0; i < 20; i++ {
+			e.Cycle(nil)
+		}
+	}
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range m.Engines() {
+			wg.Add(1)
+			go func(e *engine.Engine) {
+				defer wg.Done()
+				e.Cycle(nil)
+			}(e)
+		}
+		wg.Wait()
 	}
 }
 

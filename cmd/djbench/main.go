@@ -8,7 +8,8 @@
 //	djbench -experiment fig9 -quick            # fast smoke run
 //
 // Experiments: table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines,
-// profile, threadsweep, ablation, all.
+// profile, threadsweep, ablation, staticvsonline, designspace, nodecosts,
+// multisession, all.
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines, profile, threadsweep, ablation, staticvsonline, designspace, nodecosts, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines, profile, threadsweep, ablation, staticvsonline, designspace, nodecosts, multisession, all)")
 		cycles     = flag.Int("cycles", 10000, "APC iterations per measurement (paper: 10000)")
 		scale      = flag.Float64("scale", 1.0, "node cost scale (1.0 = paper scale, 0 = pure DSP)")
 		threads    = flag.Int("threads", 4, "maximum thread count (paper: 4)")
@@ -86,6 +87,7 @@ func main() {
 		{"staticvsonline", wrap(exp.StaticVsOnline)},
 		{"designspace", wrap(exp.DesignSpace)},
 		{"nodecosts", wrap(exp.NodeCosts)},
+		{"multisession", wrap(exp.MultiSession)},
 	}
 
 	ran := false

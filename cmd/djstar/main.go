@@ -14,21 +14,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"djstar/internal/audio"
 	"djstar/internal/engine"
 	"djstar/internal/exp"
 	"djstar/internal/graph"
+	"djstar/internal/sched"
 	"djstar/internal/settings"
 )
 
 func main() {
 	var (
 		duration = flag.Duration("duration", 10*time.Second, "how long to run")
-		strategy = flag.String("strategy", "busy", "scheduling strategy (seq, busy, sleep, ws)")
+		strategy = flag.String("strategy", "busy",
+			fmt.Sprintf("scheduling strategy (%s, %s)",
+				strings.Join(sched.AllStrategies, ", "), sched.NamePool))
 		threads  = flag.Int("threads", 4, "worker threads")
+		sessions = flag.Int("sessions", 1, "concurrent DJ sessions sharing one worker pool (>1 forces the pool scheduler)")
 		scale    = flag.Float64("scale", 1.0, "node cost scale (1.0 = paper scale)")
 		dvs      = flag.Bool("dvs", true, "timecode (DVS) tempo control")
 		record   = flag.String("record", "", "write the record bus to this WAV file")
@@ -42,18 +49,43 @@ func main() {
 	if *scale > 0 {
 		gc.Calibration = exp.Calib()
 	}
-	e, err := engine.New(engine.Config{
+	cfg := engine.Config{
 		Graph:          gc,
 		Strategy:       *strategy,
 		Threads:        *threads,
 		DVS:            *dvs,
 		CollectSamples: false,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "djstar: %v\n", err)
-		os.Exit(1)
 	}
-	defer e.Close()
+
+	// Multi-session mode: N full sessions share one worker pool; the
+	// first session is the interactive one (status line, recording,
+	// settings), the others run the same paced cycle loop in the
+	// background — the "many concurrent users, one process" scenario.
+	var (
+		e       *engine.Engine
+		multi   *engine.MultiEngine
+		bgDone  sync.WaitGroup
+		bgStop  = make(chan struct{})
+		bgLate  atomic.Int64
+	)
+	if *sessions > 1 {
+		m, err := engine.NewMulti(cfg, *sessions, *threads-1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "djstar: %v\n", err)
+			os.Exit(1)
+		}
+		multi = m
+		e = m.Engines()[0]
+		defer m.Close()
+	} else {
+		var err error
+		e, err = engine.New(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "djstar: %v\n", err)
+			os.Exit(1)
+		}
+		defer e.Close()
+	}
 
 	if *loadSet != "" {
 		f, err := os.Open(*loadSet)
@@ -115,9 +147,39 @@ func main() {
 	statusEvery := int(0.5 / audio.StandardPacketPeriod.Seconds()) // twice a second
 
 	fmt.Printf("DJ Star reproduction — %s scheduler, %d threads, %d cycles (%s)\n",
-		*strategy, *threads, totalCycles, *duration)
+		e.Scheduler().Name(), *threads, totalCycles, *duration)
 	fmt.Printf("packet: %d samples @ %d Hz, deadline %.3f ms\n\n",
 		audio.PacketSize, audio.SampleRate, engine.DeadlineMS)
+
+	// Launch the background sessions' paced cycle loops.
+	if multi != nil {
+		for _, bg := range multi.Engines()[1:] {
+			bgDone.Add(1)
+			go func(bg *engine.Engine) {
+				defer bgDone.Done()
+				period := audio.StandardPacketPeriod
+				start := time.Now()
+				for i := 0; ; i++ {
+					select {
+					case <-bgStop:
+						return
+					default:
+					}
+					due := start.Add(time.Duration(i+1) * period)
+					bg.Cycle(nil)
+					if time.Now().After(due) {
+						bgLate.Add(1)
+					} else {
+						for time.Now().Before(due) {
+							runtime.Gosched()
+						}
+					}
+				}
+			}(bg)
+		}
+		fmt.Printf("%d background sessions sharing the worker pool\n\n",
+			len(multi.Engines())-1)
+	}
 
 	m := &engine.Metrics{}
 	*m = *freshMetrics(e)
@@ -144,8 +206,17 @@ func main() {
 		}
 	}
 
+	if multi != nil {
+		close(bgStop)
+		bgDone.Wait()
+	}
+
 	fmt.Printf("\nfinal: %s\n", m)
 	fmt.Printf("late packets (missed sound card request): %d / %d\n", late, totalCycles)
+	if multi != nil {
+		fmt.Printf("background sessions: %d, late packets: %d\n",
+			len(multi.Engines())-1, bgLate.Load())
+	}
 }
 
 // freshMetrics builds an empty metrics container matching the engine.

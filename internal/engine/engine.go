@@ -48,6 +48,13 @@ type Config struct {
 	Strategy string
 	// Threads is the worker count for parallel strategies.
 	Threads int
+	// Pool, when set, attaches this engine's plan as a session on a
+	// shared worker pool instead of building a private scheduler —
+	// several engines then execute concurrently over the same workers
+	// (see sched.Pool and NewMulti). Strategy is ignored when Pool is
+	// set. With Strategy == sched.NamePool and no Pool, the engine owns
+	// a private single-session pool of Threads-1 workers.
+	Pool *sched.Pool
 	// CollectSamples retains per-cycle timing samples in the metrics
 	// (needed for histograms; costs 8 bytes × cycles × 2).
 	CollectSamples bool
@@ -67,6 +74,9 @@ type Engine struct {
 	session *graph.Session
 	plan    *graph.Plan
 	sched   sched.Scheduler
+	// ownedPool is the private pool behind Strategy == sched.NamePool
+	// (nil when a shared Pool was supplied or another strategy is used).
+	ownedPool *sched.Pool
 
 	seq     *timecode.Sequence
 	tcGen   []*timecode.Generator
@@ -109,9 +119,30 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Strategy == sched.NameSequential {
 		threads = 1
 	}
-	scheduler, err := sched.New(cfg.Strategy, plan, threads)
-	if err != nil {
-		return nil, err
+	var (
+		scheduler sched.Scheduler
+		ownedPool *sched.Pool
+		err2      error
+	)
+	switch {
+	case cfg.Pool != nil:
+		// Shared-pool mode: this engine is one session among many.
+		scheduler, err2 = cfg.Pool.Attach(plan)
+	case cfg.Strategy == sched.NamePool:
+		// Private single-session pool: Threads-1 helper workers plus the
+		// cycle caller, matching the parallelism of the other strategies.
+		ownedPool, err2 = sched.NewPool(threads-1, 1)
+		if err2 == nil {
+			scheduler, err2 = ownedPool.Attach(plan)
+		}
+	default:
+		scheduler, err2 = sched.New(cfg.Strategy, plan, threads)
+	}
+	if err2 != nil {
+		if ownedPool != nil {
+			ownedPool.Close()
+		}
+		return nil, err2
 	}
 
 	e := &Engine{
@@ -119,6 +150,7 @@ func New(cfg Config) (*Engine, error) {
 		session:     session,
 		plan:        plan,
 		sched:       scheduler,
+		ownedPool:   ownedPool,
 		seq:         sharedSequence,
 		masterTempo: 1,
 	}
@@ -164,6 +196,9 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	e.sched.Close()
+	if e.ownedPool != nil {
+		e.ownedPool.Close()
+	}
 	if e.cfg.DisableGC {
 		debug.SetGCPercent(e.prevGC)
 	}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"djstar/internal/sched"
+)
+
+// MultiEngine owns N engines attached as sessions to one shared
+// sched.Pool worker pool — the "serve many concurrent users from one
+// process" direction the single-engine design cannot express, since
+// every strategy scheduler owns a private goroutine pool. Each session
+// keeps its own graph, decks, mixer and timecode front end; only the
+// execution workers are shared. Per-session cycle serialization is
+// preserved (each session is driven by exactly one goroutine), while
+// sessions execute concurrently over the pool.
+type MultiEngine struct {
+	pool    *sched.Pool
+	engines []*Engine
+	closed  bool
+}
+
+// NewMulti builds sessions engines over a fresh shared pool with the
+// given helper worker count. Each engine gets its own copy of cfg with
+// the pool installed; cfg.Strategy/cfg.Threads are ignored. DisableGC is
+// applied at most once (the setting is process-wide).
+func NewMulti(cfg Config, sessions, workers int) (*MultiEngine, error) {
+	if sessions < 1 {
+		return nil, fmt.Errorf("engine: sessions = %d, want >= 1", sessions)
+	}
+	pool, err := sched.NewPool(workers, sessions)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiEngine{pool: pool}
+	for i := 0; i < sessions; i++ {
+		c := cfg
+		c.Pool = pool
+		c.Strategy = sched.NamePool
+		if i > 0 {
+			c.DisableGC = false
+		}
+		e, err := New(c)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.engines = append(m.engines, e)
+	}
+	return m, nil
+}
+
+// Pool exposes the shared worker pool.
+func (m *MultiEngine) Pool() *sched.Pool { return m.pool }
+
+// Engines exposes the per-session engines (e.g. for live control of one
+// session while others keep running).
+func (m *MultiEngine) Engines() []*Engine { return m.engines }
+
+// RunCyclesConcurrent executes n audio processing cycles on every
+// session concurrently — one driving goroutine per session, all sharing
+// the pool's workers — and returns per-session metrics in session order.
+func (m *MultiEngine) RunCyclesConcurrent(n int) []*Metrics {
+	out := make([]*Metrics, len(m.engines))
+	var wg sync.WaitGroup
+	for i, e := range m.engines {
+		wg.Add(1)
+		go func(i int, e *Engine) {
+			defer wg.Done()
+			out[i] = e.RunCycles(n)
+		}(i, e)
+	}
+	wg.Wait()
+	return out
+}
+
+// Close shuts down every session and the shared pool. Idempotent.
+func (m *MultiEngine) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, e := range m.engines {
+		e.Close()
+	}
+	m.pool.Close()
+}

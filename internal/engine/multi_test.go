@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"testing"
+
+	"djstar/internal/sched"
+)
+
+func TestMultiEngineValidation(t *testing.T) {
+	if _, err := NewMulti(fastConfig("", 0), 0, 2); err == nil {
+		t.Fatal("zero sessions accepted")
+	}
+	if _, err := NewMulti(fastConfig("", 0), 2, -1); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}
+
+// TestMultiEngineConcurrentSessions is the engine-level acceptance test
+// for shared-pool scheduling: four full DJ sessions (decks, mixer,
+// timecode) execute concurrently over one worker pool, each producing
+// audio and metrics independently.
+func TestMultiEngineConcurrentSessions(t *testing.T) {
+	const sessions = 4
+	m, err := NewMulti(fastConfig("", 0), sessions, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if got := len(m.Engines()); got != sessions {
+		t.Fatalf("%d engines, want %d", got, sessions)
+	}
+	if m.Pool().Workers() != 3 {
+		t.Fatalf("pool workers = %d, want 3", m.Pool().Workers())
+	}
+	for _, e := range m.Engines() {
+		if e.Scheduler().Name() != sched.NamePool {
+			t.Fatalf("scheduler = %q, want %q", e.Scheduler().Name(), sched.NamePool)
+		}
+	}
+
+	metrics := m.RunCyclesConcurrent(120)
+	if len(metrics) != sessions {
+		t.Fatalf("%d metric sets, want %d", len(metrics), sessions)
+	}
+	for i, mm := range metrics {
+		if mm.Cycles != 120 {
+			t.Fatalf("session %d ran %d cycles, want 120", i, mm.Cycles)
+		}
+		if mm.Graph.Mean() <= 0 {
+			t.Fatalf("session %d has zero graph time", i)
+		}
+	}
+	// Every session must produce real audio independently.
+	for i, e := range m.Engines() {
+		if e.Session().MasterOut().Peak() == 0 {
+			t.Fatalf("session %d produced silence", i)
+		}
+	}
+}
+
+// TestMultiEngineMatchesSingle: a session executing on a shared pool
+// produces bit-identical audio to a sequential engine with the same
+// config, even while sibling sessions churn concurrently.
+func TestMultiEngineMatchesSingle(t *testing.T) {
+	const cycles = 80
+
+	ref, err := New(fastConfig(sched.NameSequential, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	m, err := NewMulti(fastConfig("", 0), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	refSums := make([]float64, cycles)
+	gotSums := make([]float64, cycles)
+	for c := 0; c < cycles; c++ {
+		ref.Cycle(nil)
+		refSums[c] = ref.Session().MasterOut().Peak()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		// Churn the sibling sessions while session 0 is measured.
+		for i := 0; i < cycles; i++ {
+			m.Engines()[1].Cycle(nil)
+			m.Engines()[2].Cycle(nil)
+		}
+		close(done)
+	}()
+	e0 := m.Engines()[0]
+	for c := 0; c < cycles; c++ {
+		e0.Cycle(nil)
+		gotSums[c] = e0.Session().MasterOut().Peak()
+	}
+	<-done
+
+	for c := 0; c < cycles; c++ {
+		if refSums[c] != gotSums[c] {
+			t.Fatalf("cycle %d: pool session peak %v differs from sequential %v",
+				c, gotSums[c], refSums[c])
+		}
+	}
+}
+
+// TestEnginePrivatePoolStrategy: Strategy == "pool" without a shared
+// Pool builds a private single-session pool and behaves like any other
+// parallel strategy.
+func TestEnginePrivatePoolStrategy(t *testing.T) {
+	e, err := New(fastConfig(sched.NamePool, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Scheduler().Name() != sched.NamePool {
+		t.Fatalf("scheduler = %q", e.Scheduler().Name())
+	}
+	if e.Scheduler().Threads() != 4 {
+		t.Fatalf("threads = %d, want 4 (3 workers + caller)", e.Scheduler().Threads())
+	}
+	m := e.RunCycles(60)
+	if m.Cycles != 60 || m.Graph.Mean() <= 0 {
+		t.Fatalf("bad metrics: %+v", m)
+	}
+	if e.Session().MasterOut().Peak() == 0 {
+		t.Fatal("silence from pool-strategy engine")
+	}
+}

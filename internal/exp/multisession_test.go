@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMultiSessionShape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := MultiSession(quickOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != 3 || res.Sessions[2] != 4 {
+		t.Fatalf("sessions %v, want [1 2 4]", res.Sessions)
+	}
+	if res.SingleMS <= 0 {
+		t.Fatalf("single-session baseline %v", res.SingleMS)
+	}
+	for i, v := range res.GraphMeanMS {
+		if v <= 0 {
+			t.Fatalf("row %d mean %v", i, v)
+		}
+		if res.GraphMaxMS[i] < v {
+			t.Fatalf("row %d max %v < mean %v", i, res.GraphMaxMS[i], v)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "multi-session") || !strings.Contains(out, "sessions") {
+		t.Fatalf("report missing content:\n%s", out)
+	}
+}

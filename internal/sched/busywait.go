@@ -1,9 +1,6 @@
 package sched
 
 import (
-	"runtime"
-	"sync/atomic"
-
 	"djstar/internal/graph"
 )
 
@@ -13,23 +10,11 @@ import (
 // dependency of the next node is done. Workers are persistent and spin
 // across cycle boundaries too, so starting a cycle costs no wake-up — the
 // property that gives BUSY its strong early-start behaviour (Fig. 9/10).
+//
+// BusyWait is a listSpinPolicy over the shared execution core: the
+// round-robin split supplies the lists, the core supplies the workers.
 type BusyWait struct {
-	plan    *graph.Plan
-	threads int
-	tracer  *Tracer
-
-	// lists[w] holds worker w's assigned node IDs in queue order.
-	lists [][]int32
-
-	// done[i] stores the generation in which node i last completed. A
-	// node is done for the current cycle when done[i] == generation.
-	done []atomic.Uint64
-	// generation is the cycle counter; workers spin on it to start.
-	generation atomic.Uint64
-	// finished counts workers that completed their list this cycle.
-	finished atomic.Int32
-	// closed tells the workers to exit.
-	closed atomic.Bool
+	*core
 }
 
 // NewBusyWait returns a busy-waiting scheduler with the given thread
@@ -39,16 +24,8 @@ func NewBusyWait(p *graph.Plan, threads int) (*BusyWait, error) {
 	if err := checkThreads(p, threads); err != nil {
 		return nil, err
 	}
-	s := &BusyWait{
-		plan:    p,
-		threads: threads,
-		lists:   roundRobinLists(p, threads),
-		done:    make([]atomic.Uint64, p.Len()),
-	}
-	for w := 1; w < threads; w++ {
-		go s.worker(int32(w))
-	}
-	return s, nil
+	pol := &listSpinPolicy{strategy: NameBusyWait, lists: roundRobinLists(p, threads)}
+	return &BusyWait{core: newCore(p, threads, pol, waitSpin)}, nil
 }
 
 // roundRobinLists splits the queue order across threads: worker w gets
@@ -62,68 +39,35 @@ func roundRobinLists(p *graph.Plan, threads int) [][]int32 {
 	return lists
 }
 
-// Name implements Scheduler.
-func (s *BusyWait) Name() string { return NameBusyWait }
-
-// Threads implements Scheduler.
-func (s *BusyWait) Threads() int { return s.threads }
-
-// SetTracer implements Scheduler.
-func (s *BusyWait) SetTracer(t *Tracer) { s.tracer = t }
-
-// worker is the persistent spin loop for workers 1..T-1.
-func (s *BusyWait) worker(w int32) {
-	runtime.LockOSThread()
-	defer runtime.UnlockOSThread()
-	lastGen := uint64(0)
-	for {
-		// Spin until the next cycle begins (or shutdown).
-		var gen uint64
-		spinWait(func() bool {
-			if s.closed.Load() {
-				return true
-			}
-			gen = s.generation.Load()
-			return gen != lastGen
-		})
-		if s.closed.Load() {
-			return
-		}
-		lastGen = gen
-		s.runList(w, gen)
-		s.finished.Add(1)
-	}
+// listSpinPolicy runs fixed per-worker node lists in order, busy-waiting
+// on unfinished dependencies via the core's generation-stamped done
+// flags. It backs both BusyWait (round-robin lists) and Static
+// (externally supplied lists); the two differ only in how the lists are
+// produced.
+type listSpinPolicy struct {
+	noClose
+	strategy string
+	// lists[w] holds worker w's assigned node IDs in queue order.
+	lists [][]int32
 }
 
-// runList executes worker w's node list for the given generation,
+func (pol *listSpinPolicy) name() string { return pol.strategy }
+
+// beginCycle: the generation stamp makes the previous cycle's done flags
+// stale automatically, so there is nothing to reset.
+func (pol *listSpinPolicy) beginCycle(*core) {}
+
+// runCycle executes worker w's node list for the given generation,
 // spinning on unfinished dependencies.
-func (s *BusyWait) runList(w int32, gen uint64) {
-	tr := s.tracer
-	for _, id := range s.lists[w] {
+func (pol *listSpinPolicy) runCycle(c *core, w int32, gen uint64) {
+	tr := c.tracer
+	for _, id := range pol.lists[w] {
 		// Dependency check with busy-waiting (paper Fig. 5).
-		for _, d := range s.plan.Preds[id] {
+		for _, d := range c.plan.Preds[id] {
 			d := d
-			spinWait(func() bool { return s.done[d].Load() == gen })
+			spinWait(func() bool { return c.done[d].Load() == gen })
 		}
-		runNode(s.plan, tr, id, w)
-		s.done[id].Store(gen)
+		runNode(c.plan, tr, id, w)
+		c.done[id].Store(gen)
 	}
-}
-
-// Execute implements Scheduler. The caller participates as worker 0.
-func (s *BusyWait) Execute() {
-	if s.tracer != nil {
-		s.tracer.BeginCycle()
-	}
-	s.finished.Store(0)
-	gen := s.generation.Add(1) // releases the workers
-	s.runList(0, gen)
-	// Spin until the other workers drained their lists.
-	want := int32(s.threads - 1)
-	spinWait(func() bool { return s.finished.Load() == want })
-}
-
-// Close implements Scheduler.
-func (s *BusyWait) Close() {
-	s.closed.Store(true)
 }

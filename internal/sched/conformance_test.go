@@ -1,0 +1,185 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"djstar/internal/graph"
+)
+
+// schedulerCase builds one scheduler of each kind for the conformance
+// suite. The cleanup func tears down supporting state (e.g. the shared
+// pool behind a session) and must be safe to call after Close.
+type schedulerCase struct {
+	name  string
+	build func(t *testing.T, p *graph.Plan) (Scheduler, func())
+}
+
+func conformanceCases() []schedulerCase {
+	none := func() {}
+	cases := []schedulerCase{
+		{NameSequential, func(t *testing.T, p *graph.Plan) (Scheduler, func()) {
+			return NewSequential(p), none
+		}},
+	}
+	for _, name := range []string{NameBusyWait, NameSleep, NameWorkSteal, NameSleepScan, NameStatic} {
+		name := name
+		cases = append(cases, schedulerCase{name, func(t *testing.T, p *graph.Plan) (Scheduler, func()) {
+			s, err := New(name, p, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s, none
+		}})
+	}
+	cases = append(cases, schedulerCase{NamePool, func(t *testing.T, p *graph.Plan) (Scheduler, func()) {
+		pool, err := NewPool(2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := pool.Attach(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, pool.Close
+	}})
+	return cases
+}
+
+// conformancePlan returns a fresh plan plus its execution trace.
+func conformancePlan(t *testing.T) (*graph.Plan, *graph.ExecTrace) {
+	t.Helper()
+	g, tr := graph.RandomDAG(graph.RandomSpec{Nodes: 18, EdgeProb: 0.2, Seed: 77})
+	p, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, tr
+}
+
+// TestLifecycleCloseIdempotent: calling Close twice (or more) must be a
+// no-op the second time for every strategy.
+func TestLifecycleCloseIdempotent(t *testing.T) {
+	for _, c := range conformanceCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p, tr := conformancePlan(t)
+			s, cleanup := c.build(t, p)
+			defer cleanup()
+			tr.Reset()
+			s.Execute()
+			if err := tr.Check(p); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			s.Close() // must not panic, deadlock or double-close channels
+			s.Close()
+		})
+	}
+}
+
+// TestLifecycleExecuteAfterClosePanics: the uniform contract is a panic
+// with a recognizable message, never a hang or a silent no-op.
+func TestLifecycleExecuteAfterClosePanics(t *testing.T) {
+	for _, c := range conformanceCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p, _ := conformancePlan(t)
+			s, cleanup := c.build(t, p)
+			defer cleanup()
+			s.Execute()
+			s.Close()
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("Execute after Close did not panic")
+				}
+				if msg, ok := r.(string); !ok || msg != "sched: Execute called after Close" {
+					t.Fatalf("unexpected panic value %v", r)
+				}
+			}()
+			s.Execute()
+		})
+	}
+}
+
+// TestLifecycleSetTracerMidRun: installing a tracer, removing it with
+// nil, and re-installing it between cycles must work for every strategy
+// without disturbing execution.
+func TestLifecycleSetTracerMidRun(t *testing.T) {
+	for _, c := range conformanceCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p, tr := conformancePlan(t)
+			s, cleanup := c.build(t, p)
+			defer cleanup()
+			defer s.Close()
+
+			cycle := func() {
+				tr.Reset()
+				s.Execute()
+				if err := tr.Check(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			cycle() // untraced
+
+			trace := NewTracer(p.Len())
+			s.SetTracer(trace)
+			cycle() // traced
+			for i, e := range trace.Events() {
+				if e.Worker < 0 {
+					t.Fatalf("node %d untraced with tracer installed", i)
+				}
+			}
+
+			s.SetTracer(nil)
+			cycle() // untraced again; must not touch the old tracer
+			s.SetTracer(trace)
+			cycle()
+			if trace.Makespan() <= 0 {
+				t.Fatal("re-installed tracer recorded nothing")
+			}
+		})
+	}
+}
+
+// TestLifecycleFactoryStaticRegistered: the doc/behaviour mismatch
+// regression — New must accept NameStatic (round-robin default
+// assignment) and list every known strategy in its error message.
+func TestLifecycleFactoryStaticRegistered(t *testing.T) {
+	p, tr := conformancePlan(t)
+	s, err := New(NameStatic, p, 4)
+	if err != nil {
+		t.Fatalf("New(%q): %v", NameStatic, err)
+	}
+	defer s.Close()
+	if s.Name() != NameStatic || s.Threads() != 4 {
+		t.Fatalf("Name/Threads = %s/%d", s.Name(), s.Threads())
+	}
+	for cycle := 0; cycle < 20; cycle++ {
+		tr.Reset()
+		s.Execute()
+		if err := tr.Check(p); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+	}
+	// Thread validation applies to the factory's static path too.
+	if _, err := New(NameStatic, p, 0); err == nil {
+		t.Fatal("static accepted 0 threads")
+	}
+	if _, err := New(NameStatic, p, p.Len()+1); err == nil {
+		t.Fatal("static accepted more threads than nodes")
+	}
+	// Unknown strategies name every accepted one.
+	_, err = New("bogus", p, 2)
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	for _, name := range AllStrategies {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not mention strategy %q", err, name)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"djstar/internal/graph"
+)
+
+// policy is the strategy-specific part of a scheduler: how one worker
+// selects and runs its share of a cycle, and how per-cycle policy state
+// is reset. Everything else — worker spawning, OS-thread pinning, cycle
+// dispatch, completion signaling, tracer plumbing, teardown — lives in
+// core and is shared by every strategy.
+//
+// A policy's runCycle must execute only nodes whose dependencies have
+// completed this cycle, using the core's done stamps (spin disciplines)
+// or pending counters (blocking disciplines), and must return once the
+// worker's share of the iteration is finished.
+type policy interface {
+	// name is the strategy identifier returned by Scheduler.Name.
+	name() string
+	// beginCycle resets per-cycle policy state. It runs on the Execute
+	// caller before any worker is released.
+	beginCycle(c *core)
+	// runCycle is worker w's participation in the iteration gen.
+	runCycle(c *core, w int32, gen uint64)
+	// closing is called once when the core shuts down, before workers
+	// are released from their between-cycle wait.
+	closing(c *core)
+}
+
+// waitMode is a policy's between-cycle worker discipline.
+type waitMode int
+
+const (
+	// waitSpin keeps idle workers spinning on the generation counter
+	// across cycle boundaries (BUSY, STATIC): zero wake-up cost.
+	waitSpin waitMode = iota
+	// waitBlock parks idle workers on a channel between cycles (SLEEP,
+	// SLEEPSCAN, WS): no idle CPU burn, pays wake-up latency.
+	waitBlock
+)
+
+// core owns the worker pool and per-cycle machinery shared by all
+// parallel strategies: persistent OS-thread-pinned workers, the
+// generation/epoch dispatch that starts a cycle, completion signaling,
+// the per-node done/pending state, and the tracer hook. All of it is
+// allocation-free in steady state, per the package contract.
+type core struct {
+	plan    *graph.Plan
+	threads int
+	tracer  *Tracer
+	pol     policy
+	mode    waitMode
+
+	// done[i] stores the generation in which node i last completed; a
+	// node is done for the current cycle when done[i] == generation.
+	// Used by spin-discipline policies.
+	done []atomic.Uint64
+	// pending[i] counts node i's unfinished dependencies this cycle.
+	// Used by block-discipline policies; reset via resetPending.
+	pending []atomic.Int32
+
+	// generation is the cycle counter; waitSpin workers spin on it.
+	generation atomic.Uint64
+	// finished counts workers that completed the cycle (waitSpin).
+	finished atomic.Int32
+	// start and doneCh dispatch and collect cycles (waitBlock).
+	start  []chan struct{}
+	doneCh chan struct{}
+
+	closed atomic.Bool
+}
+
+// newCore builds the shared runtime for a policy and starts threads-1
+// persistent workers; the Execute caller acts as worker 0. The caller
+// must have validated the plan/thread combination already.
+func newCore(p *graph.Plan, threads int, pol policy, mode waitMode) *core {
+	c := &core{
+		plan:    p,
+		threads: threads,
+		pol:     pol,
+		mode:    mode,
+		done:    make([]atomic.Uint64, p.Len()),
+		pending: make([]atomic.Int32, p.Len()),
+	}
+	if mode == waitBlock {
+		c.start = make([]chan struct{}, threads)
+		c.doneCh = make(chan struct{}, threads)
+		for w := 0; w < threads; w++ {
+			c.start[w] = make(chan struct{}, 1)
+		}
+	}
+	for w := 1; w < threads; w++ {
+		go c.worker(int32(w))
+	}
+	return c
+}
+
+// resetPending reloads every pending counter from the plan's indegrees.
+// Policies that use the pending counters call this from beginCycle,
+// before any worker is released.
+func (c *core) resetPending() {
+	for i := range c.pending {
+		c.pending[i].Store(c.plan.Indegree[i])
+	}
+}
+
+// worker is the persistent loop for workers 1..threads-1.
+func (c *core) worker(w int32) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	switch c.mode {
+	case waitSpin:
+		lastGen := uint64(0)
+		for {
+			// Spin until the next cycle begins (or shutdown).
+			var gen uint64
+			spinWait(func() bool {
+				if c.closed.Load() {
+					return true
+				}
+				gen = c.generation.Load()
+				return gen != lastGen
+			})
+			if c.closed.Load() {
+				return
+			}
+			lastGen = gen
+			c.pol.runCycle(c, w, gen)
+			c.finished.Add(1)
+		}
+	case waitBlock:
+		for range c.start[w] {
+			if c.closed.Load() {
+				return
+			}
+			c.pol.runCycle(c, w, c.generation.Load())
+			c.doneCh <- struct{}{}
+		}
+	}
+}
+
+// Name implements Scheduler.
+func (c *core) Name() string { return c.pol.name() }
+
+// Threads implements Scheduler.
+func (c *core) Threads() int { return c.threads }
+
+// SetTracer implements Scheduler. Installing or removing a tracer takes
+// effect at the next Execute.
+func (c *core) SetTracer(t *Tracer) { c.tracer = t }
+
+// Execute implements Scheduler. The caller participates as worker 0.
+// Execute panics if the scheduler has been closed.
+func (c *core) Execute() {
+	if c.closed.Load() {
+		panic("sched: Execute called after Close")
+	}
+	if c.tracer != nil {
+		c.tracer.BeginCycle()
+	}
+	c.pol.beginCycle(c)
+	switch c.mode {
+	case waitSpin:
+		c.finished.Store(0)
+		gen := c.generation.Add(1) // releases the spinning workers
+		c.pol.runCycle(c, 0, gen)
+		want := int32(c.threads - 1)
+		spinWait(func() bool { return c.finished.Load() == want })
+	case waitBlock:
+		gen := c.generation.Add(1)
+		for w := 1; w < c.threads; w++ {
+			c.start[w] <- struct{}{}
+		}
+		c.pol.runCycle(c, 0, gen)
+		for w := 1; w < c.threads; w++ {
+			<-c.doneCh
+		}
+	}
+}
+
+// Close implements Scheduler. It is idempotent; the worker goroutines
+// exit and the scheduler must not be used afterwards.
+func (c *core) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	c.pol.closing(c)
+	if c.mode == waitBlock {
+		for w := 1; w < c.threads; w++ {
+			close(c.start[w])
+		}
+	}
+}
+
+// noClose is embedded by policies with no shutdown work of their own.
+type noClose struct{}
+
+func (noClose) closing(*core) {}

@@ -1,0 +1,371 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"djstar/internal/graph"
+)
+
+// NamePool is the strategy identifier for shared-pool sessions.
+const NamePool = "pool"
+
+// Slot states of a pool session slot.
+const (
+	slotEmpty uint32 = iota
+	slotIdle         // session attached, no cycle in flight
+	slotRunning      // session attached, cycle in flight
+)
+
+// Pool is a shared execution runtime: one set of persistent,
+// OS-thread-pinned workers serving many concurrently executing sessions.
+// Every strategy scheduler in this package owns a private goroutine pool;
+// Pool inverts that — N compiled plans attach to one pool and their
+// Execute calls run concurrently over the same workers, the
+// server-based-scheduling architecture of Nogueira & Pinho ("Supporting
+// Parallelism in Server-based Multiprocessor Systems").
+//
+// Per-session cycle serialization is preserved: a session's Execute must
+// not be called concurrently with itself, exactly like every other
+// Scheduler, but different sessions may Execute from different
+// goroutines at the same time. The Execute caller always participates in
+// its own session's cycle, so a cycle completes even with zero pool
+// workers or a fully loaded pool.
+//
+// Memory model: node effects are published across OS threads through the
+// per-session pending counters and claim stamps (sync/atomic,
+// sequentially consistent in Go); a node's claimant therefore observes
+// all buffer writes of the node's predecessors, regardless of which
+// worker — or which session's caller — ran them.
+type Pool struct {
+	workers int
+	slots   []poolSlot
+
+	// Parking (same epoch discipline as the work-stealing strategy): an
+	// idle worker registers, re-verifies under the lock, and waits;
+	// publishers bump pushEpoch and broadcast when idlers are present.
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pushEpoch uint64
+	idlers    atomic.Int32
+
+	closed atomic.Bool
+}
+
+// poolSlot is one attachable session position.
+type poolSlot struct {
+	state atomic.Uint32
+	sess  atomic.Pointer[PoolSession]
+}
+
+// NewPool starts a shared pool with the given number of persistent
+// helper workers and session capacity. Workers may be 0: sessions then
+// run entirely on their callers, still through the shared-pool claim
+// protocol. Total parallelism available to one session is workers+1 (the
+// pool plus its own caller).
+func NewPool(workers, capacity int) (*Pool, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("sched: pool workers = %d, want >= 0", workers)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("sched: pool capacity = %d, want >= 1", capacity)
+	}
+	p := &Pool{
+		workers: workers,
+		slots:   make([]poolSlot, capacity),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for w := 0; w < workers; w++ {
+		go p.worker(int32(w))
+	}
+	return p, nil
+}
+
+// Workers returns the helper worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Capacity returns the maximum number of attached sessions.
+func (p *Pool) Capacity() int { return len(p.slots) }
+
+// Attach registers a compiled plan as a new session on the pool. The
+// returned session implements Scheduler; its Close detaches it, freeing
+// the slot. Attach fails when the pool is full or closed.
+func (p *Pool) Attach(plan *graph.Plan) (*PoolSession, error) {
+	if plan == nil || plan.Len() == 0 {
+		return nil, fmt.Errorf("sched: empty plan")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() {
+		return nil, fmt.Errorf("sched: pool is closed")
+	}
+	for i := range p.slots {
+		if p.slots[i].state.Load() != slotEmpty {
+			continue
+		}
+		s := &PoolSession{
+			pool:    p,
+			slot:    int32(i),
+			plan:    plan,
+			pending: make([]atomic.Int32, plan.Len()),
+			claimed: make([]atomic.Uint64, plan.Len()),
+		}
+		p.slots[i].sess.Store(s)
+		p.slots[i].state.Store(slotIdle)
+		return s, nil
+	}
+	return nil, fmt.Errorf("sched: pool is full (%d sessions)", len(p.slots))
+}
+
+// Close shuts the pool down. It is idempotent. All sessions must be
+// closed (or at least quiescent) first; Execute on any attached session
+// panics afterwards.
+func (p *Pool) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	p.wakeAll()
+}
+
+// worker is one persistent pool worker: it scans the session slots for
+// claimable nodes, helping whichever sessions have a cycle in flight,
+// and parks when there is nothing to do anywhere.
+func (p *Pool) worker(w int32) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	n := len(p.slots)
+	next := int(w) % n // stagger scan starts across workers
+	failedRounds := 0
+	for !p.closed.Load() {
+		ran := false
+		for i := 0; i < n; i++ {
+			slot := &p.slots[(next+i)%n]
+			if slot.state.Load() != slotRunning {
+				continue
+			}
+			sess := slot.sess.Load()
+			if sess == nil {
+				continue
+			}
+			if sess.help(w) {
+				ran = true
+				// Keep helping the same session while it has work: the
+				// next scan starts here.
+				next = (next + i) % n
+				break
+			}
+		}
+		if ran {
+			failedRounds = 0
+			continue
+		}
+		failedRounds++
+		if failedRounds < 256 {
+			runtime.Gosched()
+			continue
+		}
+		p.park()
+		failedRounds = 0
+	}
+}
+
+// park sleeps until a session publishes work or the pool closes,
+// using the same registration/epoch discipline as the work-stealing
+// strategy's mid-cycle parking.
+func (p *Pool) park() {
+	p.mu.Lock()
+	p.idlers.Add(1)
+	epoch := p.pushEpoch
+	if p.closed.Load() || p.anyClaimable() {
+		p.idlers.Add(-1)
+		p.mu.Unlock()
+		return
+	}
+	for p.pushEpoch == epoch && !p.closed.Load() {
+		p.cond.Wait()
+	}
+	p.idlers.Add(-1)
+	p.mu.Unlock()
+}
+
+// anyClaimable reports whether any running session currently has a
+// claimable node. Called only on the slow parking path.
+func (p *Pool) anyClaimable() bool {
+	for i := range p.slots {
+		if p.slots[i].state.Load() != slotRunning {
+			continue
+		}
+		sess := p.slots[i].sess.Load()
+		if sess == nil {
+			continue
+		}
+		gen := sess.gen.Load()
+		for _, id := range sess.plan.Order {
+			if sess.claimed[id].Load() < gen && sess.pending[id].Load() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// wakeAll bumps the publish epoch and wakes every parked worker.
+func (p *Pool) wakeAll() {
+	p.mu.Lock()
+	p.pushEpoch++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// wakeIfIdle broadcasts only when parked workers exist — the fast path
+// for publishers.
+func (p *Pool) wakeIfIdle() {
+	if p.idlers.Load() > 0 {
+		p.wakeAll()
+	}
+}
+
+// PoolSession is one compiled plan attached to a shared Pool. It
+// implements Scheduler: Execute runs one full graph iteration, with the
+// caller participating and pool workers helping. Execute is not safe for
+// concurrent calls on the same session (per-session cycles are
+// serialized by the caller, like every Scheduler), but distinct sessions
+// of one pool may Execute concurrently.
+type PoolSession struct {
+	pool   *Pool
+	slot   int32
+	plan   *graph.Plan
+	tracer *Tracer
+
+	// pending[i] counts node i's unfinished dependencies this cycle.
+	pending []atomic.Int32
+	// claimed[i] is the generation stamp of node i's last claim. A node
+	// is claimable when pending[i] == 0 and claimed[i] < the session
+	// generation; the winning CAS to the current generation grants the
+	// exclusive right to run it. Stamps are monotonic, so a worker
+	// holding a stale generation can never claim (and thus never
+	// double-run) a node of a later cycle.
+	claimed []atomic.Uint64
+	// gen is the session's cycle counter.
+	gen atomic.Uint64
+	// remaining counts nodes not yet completed this cycle; the Execute
+	// caller returns when it reaches zero.
+	remaining atomic.Int32
+
+	closed atomic.Bool
+}
+
+// Name implements Scheduler.
+func (s *PoolSession) Name() string { return NamePool }
+
+// Threads implements Scheduler: the parallelism available to this
+// session — the pool's workers plus the Execute caller.
+func (s *PoolSession) Threads() int { return s.pool.workers + 1 }
+
+// SetTracer implements Scheduler. Pool workers record their pool worker
+// index; the session's own caller records index Threads()-1.
+func (s *PoolSession) SetTracer(t *Tracer) { s.tracer = t }
+
+// Execute implements Scheduler: one full iteration of this session's
+// plan, concurrent with other sessions on the same pool. Allocation-free
+// in steady state.
+func (s *PoolSession) Execute() {
+	if s.closed.Load() || s.pool.closed.Load() {
+		panic("sched: Execute called after Close")
+	}
+	if s.tracer != nil {
+		s.tracer.BeginCycle()
+	}
+	// Reset per-cycle state BEFORE publishing the new generation: a
+	// worker that observes the new generation therefore also observes
+	// the reset counters (sequentially consistent atomics).
+	for i := range s.pending {
+		s.pending[i].Store(s.plan.Indegree[i])
+	}
+	s.remaining.Store(int32(s.plan.Len()))
+	gen := s.gen.Add(1)
+	slot := &s.pool.slots[s.slot]
+	slot.state.Store(slotRunning)
+	s.pool.wakeIfIdle()
+
+	// Participate as the session's own worker until the cycle is done.
+	callerID := int32(s.pool.workers)
+	for s.remaining.Load() > 0 {
+		id, ok := s.claim(gen)
+		if !ok {
+			// Nothing claimable right now: pool workers hold the rest.
+			runtime.Gosched()
+			continue
+		}
+		s.runClaimed(id, callerID)
+	}
+	slot.state.Store(slotIdle)
+}
+
+// help lets pool worker w run one claimable node of this session.
+// It reports whether a node was executed.
+func (s *PoolSession) help(w int32) bool {
+	gen := s.gen.Load()
+	id, ok := s.claim(gen)
+	if !ok {
+		return false
+	}
+	s.runClaimed(id, w)
+	return true
+}
+
+// claim finds a ready, unclaimed node and stamps it with gen. The stamp
+// CAS is the exclusivity point: exactly one claimant wins each node per
+// cycle. A stale gen (from a worker that read the counter just before a
+// new cycle) can only ever claim nodes stamped strictly older than it —
+// and a completed cycle leaves every stamp at its generation, so stale
+// claims are impossible once the cycle that published them finished.
+func (s *PoolSession) claim(gen uint64) (int32, bool) {
+	for _, id := range s.plan.Order {
+		old := s.claimed[id].Load()
+		if old >= gen {
+			continue // already claimed this cycle (or claimant is stale)
+		}
+		if s.pending[id].Load() != 0 {
+			continue // dependencies still running
+		}
+		if s.claimed[id].CompareAndSwap(old, gen) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// runClaimed executes a claimed node, resolves its successors and
+// retires it from the cycle. The remaining decrement comes last so the
+// Execute caller cannot observe completion before the node's effects
+// (and successor releases) are published.
+func (s *PoolSession) runClaimed(id, w int32) {
+	runNode(s.plan, s.tracer, id, w)
+	readied := false
+	for _, succ := range s.plan.Succs[id] {
+		if s.pending[succ].Add(-1) == 0 {
+			readied = true
+		}
+	}
+	s.remaining.Add(-1)
+	if readied {
+		s.pool.wakeIfIdle()
+	}
+}
+
+// Close implements Scheduler: it detaches the session from the pool,
+// freeing its slot for a new Attach. Idempotent. The session must be
+// quiescent (no Execute in flight).
+func (s *PoolSession) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	p := s.pool
+	p.mu.Lock()
+	p.slots[s.slot].state.Store(slotEmpty)
+	p.slots[s.slot].sess.Store(nil)
+	p.mu.Unlock()
+}

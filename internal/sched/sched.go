@@ -25,8 +25,14 @@ import (
 // Scheduler executes a compiled task graph, one full iteration per
 // Execute call. Implementations are not safe for concurrent Execute
 // calls; the audio engine serializes cycles by construction.
+//
+// All implementations share one lifecycle contract, enforced by the
+// conformance tests: Close is idempotent, Execute panics after Close,
+// and SetTracer(nil) between cycles removes tracing without disturbing
+// execution.
 type Scheduler interface {
-	// Name returns the strategy identifier ("seq", "busy", "sleep", "ws").
+	// Name returns the strategy identifier ("seq", "busy", "sleep", "ws",
+	// "sleepscan", "static", "pool").
 	Name() string
 	// Threads returns the worker count (1 for the sequential baseline).
 	Threads() int
@@ -36,8 +42,8 @@ type Scheduler interface {
 	// SetTracer installs (or removes, with nil) a schedule tracer that
 	// records per-node start/end times and worker assignment.
 	SetTracer(t *Tracer)
-	// Close shuts down the worker pool. The scheduler must not be used
-	// afterwards.
+	// Close shuts down the worker pool. Close is idempotent; the
+	// scheduler must not be used afterwards (Execute panics).
 	Close()
 }
 
@@ -49,13 +55,25 @@ const (
 	NameWorkSteal  = "ws"
 )
 
-// Strategies lists the paper's strategy names in presentation order. Two
-// additional executors exist beyond the paper's set: NameSleepScan (the
-// improved sleeper §V-B sketches) and NameStatic (the offline MCFlow-style
-// executor), both accepted by New.
+// Strategies lists the paper's strategy names in presentation order.
+// Three additional executors exist beyond the paper's set, all accepted
+// by New: NameSleepScan (the improved sleeper §V-B sketches), NameStatic
+// (the offline MCFlow-style executor, with a default round-robin worker
+// assignment when built through New), and — via NewPool/Pool.Attach
+// rather than New — NamePool, the shared-pool multi-session executor.
 var Strategies = []string{NameSequential, NameBusyWait, NameSleep, NameWorkSteal}
 
-// New constructs a scheduler by strategy name.
+// AllStrategies lists every strategy name New accepts, paper strategies
+// first.
+var AllStrategies = []string{
+	NameSequential, NameBusyWait, NameSleep, NameWorkSteal,
+	NameSleepScan, NameStatic,
+}
+
+// New constructs a scheduler by strategy name. NameStatic gets a default
+// round-robin assignment of the queue order (use NewStatic directly to
+// supply a computed schedule); NamePool sessions need a shared Pool and
+// are built with NewPool + Pool.Attach instead.
 func New(name string, p *graph.Plan, threads int) (Scheduler, error) {
 	switch name {
 	case NameSequential:
@@ -68,9 +86,14 @@ func New(name string, p *graph.Plan, threads int) (Scheduler, error) {
 		return NewWorkSteal(p, threads)
 	case NameSleepScan:
 		return NewSleepScan(p, threads)
+	case NameStatic:
+		if err := checkThreads(p, threads); err != nil {
+			return nil, err
+		}
+		return NewStatic(p, roundRobinLists(p, threads))
 	default:
-		return nil, fmt.Errorf("sched: unknown strategy %q (want one of %v or %q)",
-			name, Strategies, NameSleepScan)
+		return nil, fmt.Errorf("sched: unknown strategy %q (want one of %v)",
+			name, AllStrategies)
 	}
 }
 

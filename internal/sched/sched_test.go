@@ -319,40 +319,6 @@ func TestSingleThreadParallelStrategies(t *testing.T) {
 	}
 }
 
-func TestExecuteNoAllocSteadyState(t *testing.T) {
-	// A no-op graph: the trace-recording RandomDAG nodes would panic on
-	// re-execution across cycles, and allocation measurement needs many
-	// cycles.
-	g := graph.New()
-	var prev int
-	for i := 0; i < 67; i++ {
-		id := g.AddNode(fmt.Sprintf("n%d", i), graph.SectionDeckA, nil)
-		if i > 0 && i%3 == 0 {
-			if err := g.AddEdge(prev, id); err != nil {
-				t.Fatal(err)
-			}
-		}
-		prev = id
-	}
-	p, _ := g.Compile()
-	for _, name := range []string{NameSequential, NameBusyWait} {
-		threads := 4
-		if name == NameSequential {
-			threads = 1
-		}
-		s, err := New(name, p, threads)
-		if err != nil {
-			t.Fatal(err)
-		}
-		s.Execute() // warm up
-		allocs := testing.AllocsPerRun(100, func() { s.Execute() })
-		if allocs != 0 {
-			t.Fatalf("%s: Execute allocates %v per cycle", name, allocs)
-		}
-		s.Close()
-	}
-}
-
 func TestRoundRobinListsCoverAllNodes(t *testing.T) {
 	g, _ := graph.RandomDAG(graph.RandomSpec{Nodes: 23, EdgeProb: 0.1, Seed: 5})
 	p, _ := g.Compile()

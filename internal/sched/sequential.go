@@ -6,10 +6,13 @@ import "djstar/internal/graph"
 // DJ Star's original implementation ("single nodes can simply be removed
 // from the queue in the same order (FIFO) during graph execution and
 // processed sequentially", paper §IV) and the baseline for all speedup
-// numbers.
+// numbers. It has no worker pool, but follows the same lifecycle
+// contract as the pooled strategies: Close is idempotent and Execute
+// panics after Close.
 type Sequential struct {
 	plan   *graph.Plan
 	tracer *Tracer
+	closed bool
 }
 
 // NewSequential returns the sequential baseline executor.
@@ -28,6 +31,9 @@ func (s *Sequential) SetTracer(t *Tracer) { s.tracer = t }
 
 // Execute implements Scheduler.
 func (s *Sequential) Execute() {
+	if s.closed {
+		panic("sched: Execute called after Close")
+	}
 	if s.tracer != nil {
 		s.tracer.BeginCycle()
 	}
@@ -37,4 +43,4 @@ func (s *Sequential) Execute() {
 }
 
 // Close implements Scheduler (no worker pool to stop).
-func (s *Sequential) Close() {}
+func (s *Sequential) Close() { s.closed = true }

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"runtime"
 	"sync/atomic"
 
 	"djstar/internal/graph"
@@ -14,27 +13,12 @@ import (
 // dependency wakes it. This saves the CPU cycles BUSY burns spinning, at
 // the price of wake-up latency — visible in the paper's histograms as the
 // complete absence of sub-0.4 ms graph executions for SLEEP.
+//
+// Sleep is a sleepPolicy over the shared execution core: the core owns
+// the workers and the pending counters; the policy owns the per-node
+// executor registrations and wake channels.
 type Sleep struct {
-	plan    *graph.Plan
-	threads int
-	tracer  *Tracer
-
-	lists [][]int32
-
-	// pending[i] counts node i's unfinished dependencies this cycle.
-	pending []atomic.Int32
-	// executor[i] holds 1+worker of the thread sleeping on node i (0 =
-	// nobody registered).
-	executor []atomic.Int32
-	// wake[w] delivers wake-up tokens to worker w. Capacity 1: at most
-	// one wake can be outstanding, and spurious tokens (from a
-	// registration that resolved itself) are absorbed by re-checking the
-	// pending counter in a loop.
-	wake []chan struct{}
-
-	start  []chan struct{} // per-worker cycle start signal
-	doneCh chan struct{}   // workers report list completion
-	closed atomic.Bool
+	*core
 }
 
 // NewSleep returns a thread-sleeping scheduler. The calling goroutine is
@@ -44,100 +28,69 @@ func NewSleep(p *graph.Plan, threads int) (*Sleep, error) {
 	if err := checkThreads(p, threads); err != nil {
 		return nil, err
 	}
-	s := &Sleep{
-		plan:     p,
-		threads:  threads,
+	pol := newSleepPolicy(p, threads)
+	return &Sleep{core: newCore(p, threads, pol, waitBlock)}, nil
+}
+
+// sleepPolicy runs round-robin node lists with the register-then-sleep
+// wait discipline.
+type sleepPolicy struct {
+	noClose
+	lists [][]int32
+
+	// executor[i] holds 1+worker of the thread sleeping on node i (0 =
+	// nobody registered).
+	executor []atomic.Int32
+	// wake[w] delivers wake-up tokens to worker w. Capacity 1: at most
+	// one wake can be outstanding, and spurious tokens (from a
+	// registration that resolved itself) are absorbed by re-checking the
+	// pending counter in a loop.
+	wake []chan struct{}
+}
+
+func newSleepPolicy(p *graph.Plan, threads int) *sleepPolicy {
+	pol := &sleepPolicy{
 		lists:    roundRobinLists(p, threads),
-		pending:  make([]atomic.Int32, p.Len()),
 		executor: make([]atomic.Int32, p.Len()),
 		wake:     make([]chan struct{}, threads),
-		start:    make([]chan struct{}, threads),
-		doneCh:   make(chan struct{}, threads),
 	}
 	for w := 0; w < threads; w++ {
-		s.wake[w] = make(chan struct{}, 1)
-		s.start[w] = make(chan struct{}, 1)
+		pol.wake[w] = make(chan struct{}, 1)
 	}
-	for w := 1; w < threads; w++ {
-		go s.worker(int32(w))
-	}
-	return s, nil
+	return pol
 }
 
-// Name implements Scheduler.
-func (s *Sleep) Name() string { return NameSleep }
+func (pol *sleepPolicy) name() string { return NameSleep }
 
-// Threads implements Scheduler.
-func (s *Sleep) Threads() int { return s.threads }
+// beginCycle resets the dependency counters before workers are released.
+func (pol *sleepPolicy) beginCycle(c *core) { c.resetPending() }
 
-// SetTracer implements Scheduler.
-func (s *Sleep) SetTracer(t *Tracer) { s.tracer = t }
-
-// worker sleeps between cycles and runs its list when signalled.
-func (s *Sleep) worker(w int32) {
-	runtime.LockOSThread()
-	defer runtime.UnlockOSThread()
-	for range s.start[w] {
-		if s.closed.Load() {
-			return
-		}
-		s.runList(w)
-		s.doneCh <- struct{}{}
-	}
-}
-
-// runList executes worker w's nodes, sleeping on open dependencies.
-func (s *Sleep) runList(w int32) {
-	tr := s.tracer
-	for _, id := range s.lists[w] {
+// runCycle executes worker w's nodes, sleeping on open dependencies.
+func (pol *sleepPolicy) runCycle(c *core, w int32, _ uint64) {
+	tr := c.tracer
+	for _, id := range pol.lists[w] {
 		// Register-then-recheck avoids the lost-wakeup race: either the
 		// final predecessor sees our registration and sends a token, or
 		// our recheck observes pending == 0 and we never sleep. Spurious
 		// tokens from earlier self-resolved registrations are absorbed by
 		// looping.
-		for s.pending[id].Load() > 0 {
-			s.executor[id].Store(w + 1)
-			if s.pending[id].Load() > 0 {
-				<-s.wake[w]
+		for c.pending[id].Load() > 0 {
+			pol.executor[id].Store(w + 1)
+			if c.pending[id].Load() > 0 {
+				<-pol.wake[w]
 			}
 		}
-		runNode(s.plan, tr, id, w)
+		runNode(c.plan, tr, id, w)
 		// Notify successors; wake the executor of any that became ready.
-		for _, succ := range s.plan.Succs[id] {
-			if s.pending[succ].Add(-1) == 0 {
-				if e := s.executor[succ].Load(); e != 0 {
+		for _, succ := range c.plan.Succs[id] {
+			if c.pending[succ].Add(-1) == 0 {
+				if e := pol.executor[succ].Load(); e != 0 {
 					select {
-					case s.wake[e-1] <- struct{}{}:
+					case pol.wake[e-1] <- struct{}{}:
 					default:
 					}
 				}
 			}
 		}
-	}
-}
-
-// Execute implements Scheduler. The caller acts as worker 0.
-func (s *Sleep) Execute() {
-	if s.tracer != nil {
-		s.tracer.BeginCycle()
-	}
-	// Reset dependency counters before releasing anyone.
-	for i := range s.pending {
-		s.pending[i].Store(s.plan.Indegree[i])
-	}
-	for w := 1; w < s.threads; w++ {
-		s.start[w] <- struct{}{}
-	}
-	s.runList(0)
-	for w := 1; w < s.threads; w++ {
-		<-s.doneCh
-	}
-}
-
-// Close implements Scheduler.
-func (s *Sleep) Close() {
-	s.closed.Store(true)
-	for w := 1; w < s.threads; w++ {
-		close(s.start[w])
 	}
 }

@@ -1,9 +1,6 @@
 package sched
 
 import (
-	"runtime"
-	"sync/atomic"
-
 	"djstar/internal/graph"
 )
 
@@ -17,23 +14,7 @@ import (
 // queue-management overhead — the scan — which is exactly what the
 // ablation harness measures against plain Sleep and WS.
 type SleepScan struct {
-	plan    *graph.Plan
-	threads int
-	tracer  *Tracer
-
-	lists [][]int32
-
-	pending  []atomic.Int32
-	executor []atomic.Int32
-	wake     []chan struct{}
-
-	// done tracks per-worker which of its own list entries already ran
-	// (only the owning worker touches its row).
-	done [][]bool
-
-	start  []chan struct{}
-	doneCh chan struct{}
-	closed atomic.Bool
+	*core
 }
 
 // NameSleepScan is the strategy identifier for the improved sleeper.
@@ -44,129 +25,82 @@ func NewSleepScan(p *graph.Plan, threads int) (*SleepScan, error) {
 	if err := checkThreads(p, threads); err != nil {
 		return nil, err
 	}
-	s := &SleepScan{
-		plan:     p,
-		threads:  threads,
-		lists:    roundRobinLists(p, threads),
-		pending:  make([]atomic.Int32, p.Len()),
-		executor: make([]atomic.Int32, p.Len()),
-		wake:     make([]chan struct{}, threads),
-		done:     make([][]bool, threads),
-		start:    make([]chan struct{}, threads),
-		doneCh:   make(chan struct{}, threads),
-	}
+	pol := &sleepScanPolicy{sleepPolicy: newSleepPolicy(p, threads)}
+	pol.ran = make([][]bool, threads)
 	for w := 0; w < threads; w++ {
-		s.wake[w] = make(chan struct{}, 1)
-		s.start[w] = make(chan struct{}, 1)
-		s.done[w] = make([]bool, len(s.lists[w]))
+		pol.ran[w] = make([]bool, len(pol.lists[w]))
 	}
-	for w := 1; w < threads; w++ {
-		go s.worker(int32(w))
-	}
-	return s, nil
+	return &SleepScan{core: newCore(p, threads, pol, waitBlock)}, nil
 }
 
-// Name implements Scheduler.
-func (s *SleepScan) Name() string { return NameSleepScan }
+// sleepScanPolicy extends sleepPolicy with the scan-before-sleeping
+// discipline; it reuses its lists, executor registrations and wake
+// channels and overrides only the per-cycle loop.
+type sleepScanPolicy struct {
+	*sleepPolicy
 
-// Threads implements Scheduler.
-func (s *SleepScan) Threads() int { return s.threads }
-
-// SetTracer implements Scheduler.
-func (s *SleepScan) SetTracer(t *Tracer) { s.tracer = t }
-
-func (s *SleepScan) worker(w int32) {
-	runtime.LockOSThread()
-	defer runtime.UnlockOSThread()
-	for range s.start[w] {
-		if s.closed.Load() {
-			return
-		}
-		s.runList(w)
-		s.doneCh <- struct{}{}
-	}
+	// ran tracks per-worker which of its own list entries already ran
+	// this cycle (only the owning worker touches its row).
+	ran [][]bool
 }
 
-// runList executes worker w's list, preferring the earliest queued node
+func (pol *sleepScanPolicy) name() string { return NameSleepScan }
+
+// runCycle executes worker w's list, preferring the earliest queued node
 // but running any later ready node rather than sleeping.
-func (s *SleepScan) runList(w int32) {
-	list := s.lists[w]
-	done := s.done[w]
-	for i := range done {
-		done[i] = false
+func (pol *sleepScanPolicy) runCycle(c *core, w int32, _ uint64) {
+	list := pol.lists[w]
+	ran := pol.ran[w]
+	for i := range ran {
+		ran[i] = false
 	}
 	remaining := len(list)
 	for remaining > 0 {
-		ran := false
+		progressed := false
 		first := -1 // earliest not-yet-run entry, the sleep anchor
 		for i, id := range list {
-			if done[i] {
+			if ran[i] {
 				continue
 			}
 			if first == -1 {
 				first = i
 			}
-			if s.pending[id].Load() == 0 {
-				s.execute(id, w)
-				done[i] = true
+			if c.pending[id].Load() == 0 {
+				pol.execute(c, id, w)
+				ran[i] = true
 				remaining--
-				ran = true
+				progressed = true
 				// Restart the scan: completing a node may have readied
 				// an earlier list entry on this worker.
 				break
 			}
 		}
-		if ran || remaining == 0 {
+		if progressed || remaining == 0 {
 			continue
 		}
 		// Nothing runnable: sleep on the earliest blocked node, exactly
 		// like plain Sleep (register-then-recheck closes the race).
 		anchor := list[first]
-		for s.pending[anchor].Load() > 0 {
-			s.executor[anchor].Store(w + 1)
-			if s.pending[anchor].Load() > 0 {
-				<-s.wake[w]
+		for c.pending[anchor].Load() > 0 {
+			pol.executor[anchor].Store(w + 1)
+			if c.pending[anchor].Load() > 0 {
+				<-pol.wake[w]
 			}
 		}
 	}
 }
 
 // execute runs a node and resolves successors, waking sleepers.
-func (s *SleepScan) execute(id, w int32) {
-	runNode(s.plan, s.tracer, id, w)
-	for _, succ := range s.plan.Succs[id] {
-		if s.pending[succ].Add(-1) == 0 {
-			if e := s.executor[succ].Load(); e != 0 {
+func (pol *sleepScanPolicy) execute(c *core, id, w int32) {
+	runNode(c.plan, c.tracer, id, w)
+	for _, succ := range c.plan.Succs[id] {
+		if c.pending[succ].Add(-1) == 0 {
+			if e := pol.executor[succ].Load(); e != 0 {
 				select {
-				case s.wake[e-1] <- struct{}{}:
+				case pol.wake[e-1] <- struct{}{}:
 				default:
 				}
 			}
 		}
-	}
-}
-
-// Execute implements Scheduler.
-func (s *SleepScan) Execute() {
-	if s.tracer != nil {
-		s.tracer.BeginCycle()
-	}
-	for i := range s.pending {
-		s.pending[i].Store(s.plan.Indegree[i])
-	}
-	for w := 1; w < s.threads; w++ {
-		s.start[w] <- struct{}{}
-	}
-	s.runList(0)
-	for w := 1; w < s.threads; w++ {
-		<-s.doneCh
-	}
-}
-
-// Close implements Scheduler.
-func (s *SleepScan) Close() {
-	s.closed.Store(true)
-	for w := 1; w < s.threads; w++ {
-		close(s.start[w])
 	}
 }

@@ -2,8 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"runtime"
-	"sync/atomic"
 
 	"djstar/internal/graph"
 )
@@ -17,17 +15,11 @@ import (
 // imbalanced, data-dependent node costs a static assignment computed from
 // average durations cannot adapt, which is measurable in the ablation
 // harness.
+//
+// Static shares the listSpinPolicy with BusyWait — the strategies are
+// identical at run time and differ only in where the lists come from.
 type Static struct {
-	plan    *graph.Plan
-	threads int
-	tracer  *Tracer
-
-	lists [][]int32
-
-	done       []atomic.Uint64
-	generation atomic.Uint64
-	finished   atomic.Int32
-	closed     atomic.Bool
+	*core
 }
 
 // NameStatic is the strategy identifier for the offline executor.
@@ -66,16 +58,8 @@ func NewStatic(p *graph.Plan, lists [][]int32) (*Static, error) {
 	if count != p.Len() {
 		return nil, fmt.Errorf("sched: static schedule covers %d of %d nodes", count, p.Len())
 	}
-	s := &Static{
-		plan:    p,
-		threads: len(lists),
-		lists:   lists,
-		done:    make([]atomic.Uint64, p.Len()),
-	}
-	for w := 1; w < s.threads; w++ {
-		go s.worker(int32(w))
-	}
-	return s, nil
+	pol := &listSpinPolicy{strategy: NameStatic, lists: lists}
+	return &Static{core: newCore(p, len(lists), pol, waitSpin)}, nil
 }
 
 // FromScheduleOrder builds per-worker lists from a processor assignment
@@ -106,64 +90,4 @@ func FromScheduleOrder(p *graph.Plan, proc []int32, start []float64, workers int
 		lists[w] = append(lists[w], id)
 	}
 	return lists, nil
-}
-
-// Name implements Scheduler.
-func (s *Static) Name() string { return NameStatic }
-
-// Threads implements Scheduler.
-func (s *Static) Threads() int { return s.threads }
-
-// SetTracer implements Scheduler.
-func (s *Static) SetTracer(t *Tracer) { s.tracer = t }
-
-func (s *Static) worker(w int32) {
-	runtime.LockOSThread()
-	defer runtime.UnlockOSThread()
-	lastGen := uint64(0)
-	for {
-		var gen uint64
-		spinWait(func() bool {
-			if s.closed.Load() {
-				return true
-			}
-			gen = s.generation.Load()
-			return gen != lastGen
-		})
-		if s.closed.Load() {
-			return
-		}
-		lastGen = gen
-		s.runList(w, gen)
-		s.finished.Add(1)
-	}
-}
-
-func (s *Static) runList(w int32, gen uint64) {
-	tr := s.tracer
-	for _, id := range s.lists[w] {
-		for _, d := range s.plan.Preds[id] {
-			d := d
-			spinWait(func() bool { return s.done[d].Load() == gen })
-		}
-		runNode(s.plan, tr, id, w)
-		s.done[id].Store(gen)
-	}
-}
-
-// Execute implements Scheduler.
-func (s *Static) Execute() {
-	if s.tracer != nil {
-		s.tracer.BeginCycle()
-	}
-	s.finished.Store(0)
-	gen := s.generation.Add(1)
-	s.runList(0, gen)
-	want := int32(s.threads - 1)
-	spinWait(func() bool { return s.finished.Load() == want })
-}
-
-// Close implements Scheduler.
-func (s *Static) Close() {
-	s.closed.Store(true)
 }

@@ -29,34 +29,13 @@ type WSOptions struct {
 // successors' dependency counters and pushes newly ready nodes locally.
 // A worker with an empty deque steals; it sleeps only when every deque is
 // empty and nodes remain blocked — exactly the behaviour in Fig. 11.
+//
+// WorkSteal is a wsPolicy over the shared execution core: the core owns
+// the workers and the pending counters; the policy owns the deques and
+// the mid-cycle parking machinery.
 type WorkSteal struct {
-	plan    *graph.Plan
-	threads int
-	tracer  *Tracer
-	opts    WSOptions
-
-	deques  []dequeIface
-	initial [][]int32 // per-worker source nodes, seeded each cycle
-
-	pending   []atomic.Int32
-	remaining atomic.Int32
-
-	// Parking: a worker that finds no work takes mu, re-verifies under
-	// the lock, and waits on cond; pushers bump pushEpoch and broadcast
-	// when idlers are present.
-	mu        sync.Mutex
-	cond      *sync.Cond
-	pushEpoch uint64
-	idlers    atomic.Int32
-
-	start  []chan struct{}
-	doneCh chan struct{}
-	closed atomic.Bool
-
-	// steals counts successful steals (diagnostics/ablation output).
-	steals atomic.Int64
-	// parks counts times a worker actually slept mid-cycle.
-	parks atomic.Int64
+	*core
+	pol *wsPolicy
 }
 
 // NewWorkSteal returns a work-stealing scheduler with the paper's
@@ -71,29 +50,21 @@ func NewWorkStealOpts(p *graph.Plan, threads int, opts WSOptions) (*WorkSteal, e
 	if err := checkThreads(p, threads); err != nil {
 		return nil, err
 	}
-	s := &WorkSteal{
-		plan:    p,
+	pol := &wsPolicy{
 		threads: threads,
 		opts:    opts,
 		deques:  make([]dequeIface, threads),
-		pending: make([]atomic.Int32, p.Len()),
-		start:   make([]chan struct{}, threads),
-		doneCh:  make(chan struct{}, threads),
 	}
-	s.cond = sync.NewCond(&s.mu)
+	pol.cond = sync.NewCond(&pol.mu)
 	for w := 0; w < threads; w++ {
 		if opts.LockedDeque {
-			s.deques[w] = NewLockedDeque(p.Len() + 1)
+			pol.deques[w] = NewLockedDeque(p.Len() + 1)
 		} else {
-			s.deques[w] = NewDeque(p.Len() + 1)
+			pol.deques[w] = NewDeque(p.Len() + 1)
 		}
-		s.start[w] = make(chan struct{}, 1)
 	}
-	s.initial = initialSources(p, threads, opts.RoundRobinInit)
-	for w := 1; w < threads; w++ {
-		go s.worker(int32(w))
-	}
-	return s, nil
+	pol.initial = initialSources(p, threads, opts.RoundRobinInit)
+	return &WorkSteal{core: newCore(p, threads, pol, waitBlock), pol: pol}, nil
 }
 
 // initialSources assigns the dependency-free nodes to workers. With
@@ -126,47 +97,58 @@ func initialSources(p *graph.Plan, threads int, roundRobin bool) [][]int32 {
 	return out
 }
 
-// Name implements Scheduler.
-func (s *WorkSteal) Name() string { return NameWorkSteal }
-
-// Threads implements Scheduler.
-func (s *WorkSteal) Threads() int { return s.threads }
-
-// SetTracer implements Scheduler.
-func (s *WorkSteal) SetTracer(t *Tracer) { s.tracer = t }
-
 // Steals returns the cumulative successful steal count.
-func (s *WorkSteal) Steals() int64 { return s.steals.Load() }
+func (s *WorkSteal) Steals() int64 { return s.pol.steals.Load() }
 
 // Parks returns the cumulative mid-cycle sleep count.
-func (s *WorkSteal) Parks() int64 { return s.parks.Load() }
+func (s *WorkSteal) Parks() int64 { return s.pol.parks.Load() }
 
-// worker sleeps between cycles and joins the stealing pool when
-// signalled.
-func (s *WorkSteal) worker(w int32) {
-	runtime.LockOSThread()
-	defer runtime.UnlockOSThread()
-	for range s.start[w] {
-		if s.closed.Load() {
-			return
-		}
-		s.runCycle(w)
-		s.doneCh <- struct{}{}
-	}
+// wsPolicy holds the strategy state of WorkSteal: per-worker deques of
+// ready nodes, the cycle seed lists, and the mid-cycle parking machinery.
+type wsPolicy struct {
+	noClose
+	threads int
+	opts    WSOptions
+
+	deques  []dequeIface
+	initial [][]int32 // per-worker source nodes, seeded each cycle
+
+	remaining atomic.Int32
+
+	// Parking: a worker that finds no work takes mu, re-verifies under
+	// the lock, and waits on cond; pushers bump pushEpoch and broadcast
+	// when idlers are present.
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pushEpoch uint64
+	idlers    atomic.Int32
+
+	// steals counts successful steals (diagnostics/ablation output).
+	steals atomic.Int64
+	// parks counts times a worker actually slept mid-cycle.
+	parks atomic.Int64
+}
+
+func (pol *wsPolicy) name() string { return NameWorkSteal }
+
+// beginCycle resets the dependency and completion counters.
+func (pol *wsPolicy) beginCycle(c *core) {
+	c.resetPending()
+	pol.remaining.Store(int32(c.plan.Len()))
 }
 
 // runCycle is one worker's participation in a graph iteration.
-func (s *WorkSteal) runCycle(w int32) {
+func (pol *wsPolicy) runCycle(c *core, w int32, _ uint64) {
 	// Seed the local deque with this worker's sources. Each worker seeds
 	// its own deque, keeping deque pushes owner-only.
-	for _, id := range s.initial[w] {
-		s.deques[w].PushBottom(id)
+	for _, id := range pol.initial[w] {
+		pol.deques[w].PushBottom(id)
 	}
 	failedRounds := 0
-	for s.remaining.Load() > 0 {
-		id, ok := s.deques[w].PopBottom()
+	for pol.remaining.Load() > 0 {
+		id, ok := pol.deques[w].PopBottom()
 		if !ok {
-			id, ok = s.trySteal(w)
+			id, ok = pol.trySteal(w)
 		}
 		if !ok {
 			failedRounds++
@@ -174,41 +156,41 @@ func (s *WorkSteal) runCycle(w int32) {
 				runtime.Gosched()
 				continue
 			}
-			s.park()
+			pol.park()
 			failedRounds = 0
 			continue
 		}
 		failedRounds = 0
-		s.execute(id, w)
+		pol.execute(c, id, w)
 	}
 }
 
 // execute runs node id and resolves its successors.
-func (s *WorkSteal) execute(id, w int32) {
-	runNode(s.plan, s.tracer, id, w)
+func (pol *wsPolicy) execute(c *core, id, w int32) {
+	runNode(c.plan, c.tracer, id, w)
 	pushed := false
-	for _, succ := range s.plan.Succs[id] {
-		if s.pending[succ].Add(-1) == 0 {
+	for _, succ := range c.plan.Succs[id] {
+		if c.pending[succ].Add(-1) == 0 {
 			// Newly ready: keep it local (LIFO, cache-warm).
-			s.deques[w].PushBottom(succ)
+			pol.deques[w].PushBottom(succ)
 			pushed = true
 		}
 	}
-	if s.remaining.Add(-1) == 0 {
-		s.wakeAll() // cycle complete: release any sleepers
+	if pol.remaining.Add(-1) == 0 {
+		pol.wakeAll() // cycle complete: release any sleepers
 		return
 	}
-	if pushed && s.idlers.Load() > 0 {
-		s.wakeAll()
+	if pushed && pol.idlers.Load() > 0 {
+		pol.wakeAll()
 	}
 }
 
 // trySteal scans the other workers' deques starting after w.
-func (s *WorkSteal) trySteal(w int32) (int32, bool) {
-	for i := 1; i < s.threads; i++ {
-		v := (int(w) + i) % s.threads
-		if id, ok := s.deques[v].Steal(); ok {
-			s.steals.Add(1)
+func (pol *wsPolicy) trySteal(w int32) (int32, bool) {
+	for i := 1; i < pol.threads; i++ {
+		v := (int(w) + i) % pol.threads
+		if id, ok := pol.deques[v].Steal(); ok {
+			pol.steals.Add(1)
 			return id, true
 		}
 	}
@@ -219,29 +201,29 @@ func (s *WorkSteal) trySteal(w int32) (int32, bool) {
 // re-verification under the lock closes the race against concurrent
 // pushers: a pusher either sees our idler registration and broadcasts, or
 // we see its pushed node in the deque scan.
-func (s *WorkSteal) park() {
-	s.mu.Lock()
+func (pol *wsPolicy) park() {
+	pol.mu.Lock()
 	// Register as idle BEFORE scanning the deques: a concurrent pusher
 	// either loads idlers >= 1 after its push (and broadcasts), or its
 	// push completed before our registration and the scan below sees it.
-	s.idlers.Add(1)
-	epoch := s.pushEpoch
-	if s.remaining.Load() == 0 || s.anyWork() {
-		s.idlers.Add(-1)
-		s.mu.Unlock()
+	pol.idlers.Add(1)
+	epoch := pol.pushEpoch
+	if pol.remaining.Load() == 0 || pol.anyWork() {
+		pol.idlers.Add(-1)
+		pol.mu.Unlock()
 		return
 	}
-	s.parks.Add(1)
-	for s.pushEpoch == epoch && s.remaining.Load() > 0 {
-		s.cond.Wait()
+	pol.parks.Add(1)
+	for pol.pushEpoch == epoch && pol.remaining.Load() > 0 {
+		pol.cond.Wait()
 	}
-	s.idlers.Add(-1)
-	s.mu.Unlock()
+	pol.idlers.Add(-1)
+	pol.mu.Unlock()
 }
 
 // anyWork reports whether any deque currently has a stealable node.
-func (s *WorkSteal) anyWork() bool {
-	for _, d := range s.deques {
+func (pol *wsPolicy) anyWork() bool {
+	for _, d := range pol.deques {
 		if !d.Empty() {
 			return true
 		}
@@ -250,35 +232,9 @@ func (s *WorkSteal) anyWork() bool {
 }
 
 // wakeAll bumps the push epoch and wakes all parked workers.
-func (s *WorkSteal) wakeAll() {
-	s.mu.Lock()
-	s.pushEpoch++
-	s.cond.Broadcast()
-	s.mu.Unlock()
-}
-
-// Execute implements Scheduler. The caller acts as worker 0.
-func (s *WorkSteal) Execute() {
-	if s.tracer != nil {
-		s.tracer.BeginCycle()
-	}
-	for i := range s.pending {
-		s.pending[i].Store(s.plan.Indegree[i])
-	}
-	s.remaining.Store(int32(s.plan.Len()))
-	for w := 1; w < s.threads; w++ {
-		s.start[w] <- struct{}{}
-	}
-	s.runCycle(0)
-	for w := 1; w < s.threads; w++ {
-		<-s.doneCh
-	}
-}
-
-// Close implements Scheduler.
-func (s *WorkSteal) Close() {
-	s.closed.Store(true)
-	for w := 1; w < s.threads; w++ {
-		close(s.start[w])
-	}
+func (pol *wsPolicy) wakeAll() {
+	pol.mu.Lock()
+	pol.pushEpoch++
+	pol.cond.Broadcast()
+	pol.mu.Unlock()
 }
