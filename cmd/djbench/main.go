@@ -9,7 +9,7 @@
 //
 // Experiments: table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines,
 // profile, threadsweep, ablation, staticvsonline, designspace, nodecosts,
-// multisession, all.
+// multisession, chaos, governor, all.
 package main
 
 import (
@@ -17,15 +17,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 
 	"djstar/internal/exp"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines, profile, threadsweep, ablation, staticvsonline, designspace, nodecosts, multisession, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines, profile, threadsweep, ablation, staticvsonline, designspace, nodecosts, multisession, chaos, governor, all)")
 		cycles     = flag.Int("cycles", 10000, "APC iterations per measurement (paper: 10000)")
 		scale      = flag.Float64("scale", 1.0, "node cost scale (1.0 = paper scale, 0 = pure DSP)")
 		threads    = flag.Int("threads", 4, "maximum thread count (paper: 4)")
@@ -88,10 +90,24 @@ func main() {
 		{"designspace", wrap(exp.DesignSpace)},
 		{"nodecosts", wrap(exp.NodeCosts)},
 		{"multisession", wrap(exp.MultiSession)},
+		{"chaos", wrap(exp.Chaos)},
+		{"governor", wrap(exp.Governor)},
 	}
+
+	// Interrupts are honored at driver boundaries: the in-flight
+	// experiment finishes (its engine Close restores the GC setting), the
+	// remaining ones are skipped, and the exit is clean.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 
 	ran := false
 	for _, d := range drivers {
+		select {
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "djbench: %v — stopping after completed experiments\n", s)
+			os.Exit(0)
+		default:
+		}
 		if *experiment != "all" && *experiment != d.name {
 			continue
 		}

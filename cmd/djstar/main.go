@@ -8,21 +8,25 @@
 // Usage:
 //
 //	djstar -duration 10s -strategy busy -threads 4
+//	djstar -chaos "panic:FXA2@100x3, stall:Mixer@500:200ms"
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"djstar/internal/audio"
 	"djstar/internal/engine"
 	"djstar/internal/exp"
+	"djstar/internal/faults"
 	"djstar/internal/graph"
 	"djstar/internal/sched"
 	"djstar/internal/settings"
@@ -38,6 +42,8 @@ func main() {
 		sessions = flag.Int("sessions", 1, "concurrent DJ sessions sharing one worker pool (>1 forces the pool scheduler)")
 		scale    = flag.Float64("scale", 1.0, "node cost scale (1.0 = paper scale)")
 		dvs      = flag.Bool("dvs", true, "timecode (DVS) tempo control")
+		chaos    = flag.String("chaos", "", `deterministic fault script, e.g. "panic:FXA2@100x3, stall:Mixer@500:200ms"`)
+		watchdog = flag.Bool("watchdog", true, "stall watchdog (detects and names wedged nodes)")
 		record   = flag.String("record", "", "write the record bus to this WAV file")
 		loadSet  = flag.String("settings", "", "load mixer/deck settings from this JSON file")
 		saveSet  = flag.String("save-settings", "", "save the final settings to this JSON file")
@@ -49,12 +55,33 @@ func main() {
 	if *scale > 0 {
 		gc.Calibration = exp.Calib()
 	}
+	if *chaos != "" {
+		specs, err := faults.Parse(*chaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "djstar: -chaos: %v\n", err)
+			os.Exit(2)
+		}
+		gc.Faults = faults.New(1, specs...)
+	}
 	cfg := engine.Config{
 		Graph:          gc,
 		Strategy:       *strategy,
 		Threads:        *threads,
 		DVS:            *dvs,
 		CollectSamples: false,
+		Watchdog:       *watchdog,
+		OnFault: func(r sched.FaultRecord) {
+			q := ""
+			if r.Quarantined {
+				q = " — node quarantined"
+			}
+			fmt.Fprintf(os.Stderr, "FAULT contained: %s (cycle %d, worker %d): %v%s\n",
+				r.Name, r.Cycle, r.Worker, r.Err, q)
+		},
+		OnStall: func(r engine.StallRecord) {
+			fmt.Fprintf(os.Stderr, "STALL: cycle %d wedged %.0f ms in %s [%s]\n",
+				r.Cycle, r.ElapsedMS, r.Name, r.Inflight)
+		},
 	}
 
 	// Multi-session mode: N full sessions share one worker pool; the
@@ -62,11 +89,11 @@ func main() {
 	// settings), the others run the same paced cycle loop in the
 	// background — the "many concurrent users, one process" scenario.
 	var (
-		e       *engine.Engine
-		multi   *engine.MultiEngine
-		bgDone  sync.WaitGroup
-		bgStop  = make(chan struct{})
-		bgLate  atomic.Int64
+		e      *engine.Engine
+		multi  *engine.MultiEngine
+		bgDone sync.WaitGroup
+		bgStop = make(chan struct{})
+		bgLate atomic.Int64
 	)
 	if *sessions > 1 {
 		m, err := engine.NewMulti(cfg, *sessions, *threads-1)
@@ -143,6 +170,19 @@ func main() {
 		}()
 	}
 
+	// SIGINT/SIGTERM stop the paced loop at the next cycle boundary; the
+	// deferred cleanup then runs normally — engine Close (restoring the GC
+	// setting), recording finalization, settings save — and the partial
+	// metrics are printed before a clean exit 0.
+	var interrupted atomic.Bool
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		fmt.Fprintf(os.Stderr, "\ndjstar: %v — shutting down cleanly\n", s)
+		interrupted.Store(true)
+	}()
+
 	totalCycles := int(duration.Seconds() / audio.StandardPacketPeriod.Seconds())
 	statusEvery := int(0.5 / audio.StandardPacketPeriod.Seconds()) // twice a second
 
@@ -186,7 +226,9 @@ func main() {
 	period := audio.StandardPacketPeriod
 	start := time.Now()
 	late := 0
-	for i := 0; i < totalCycles; i++ {
+	done := 0
+	for i := 0; i < totalCycles && !interrupted.Load(); i++ {
+		done = i + 1
 		due := start.Add(time.Duration(i+1) * period)
 		e.Cycle(m)
 		if rec != nil {
@@ -211,8 +253,17 @@ func main() {
 		bgDone.Wait()
 	}
 
+	if interrupted.Load() && done < totalCycles {
+		fmt.Printf("\ninterrupted after %d / %d cycles — partial metrics follow\n",
+			done, totalCycles)
+	}
 	fmt.Printf("\nfinal: %s\n", m)
-	fmt.Printf("late packets (missed sound card request): %d / %d\n", late, totalCycles)
+	fmt.Printf("late packets (missed sound card request): %d / %d\n", late, done)
+	h := e.Health()
+	if h.Faults.Recovered > 0 || h.Stalls > 0 || len(h.Quarantined) > 0 {
+		fmt.Printf("health: %d faults contained, %d quarantines (%d restored), %d stalls detected\n",
+			h.Faults.Recovered, h.Faults.Quarantined, h.Faults.Restored, h.Stalls)
+	}
 	if multi != nil {
 		fmt.Printf("background sessions: %d, late packets: %d\n",
 			len(multi.Engines())-1, bgLate.Load())
@@ -237,7 +288,17 @@ func printStatus(e *engine.Engine, m *engine.Metrics, cycle, late int) {
 		decks = append(decks, fmt.Sprintf("%c%s %5.1fs @%.2fx",
 			'A'+d, lock, dk.Position()/float64(audio.SampleRate), dk.Tempo()))
 	}
-	fmt.Printf("cycle %6d | %s | out %5.2f | graph %.3f ms avg | late %d\n",
+	health := ""
+	if h := e.Health(); h.Faults.Recovered > 0 || h.Stalls > 0 {
+		health = fmt.Sprintf(" | faults %d", h.Faults.Recovered)
+		if len(h.Quarantined) > 0 {
+			health += " q:" + strings.Join(h.Quarantined, ",")
+		}
+		if h.Stalls > 0 {
+			health += fmt.Sprintf(" stalls %d", h.Stalls)
+		}
+	}
+	fmt.Printf("cycle %6d | %s | out %5.2f | graph %.3f ms avg | late %d%s\n",
 		cycle, strings.Join(decks, " | "), s.MasterOut().Peak(),
-		m.Graph.Mean(), late)
+		m.Graph.Mean(), late, health)
 }

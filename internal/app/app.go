@@ -14,6 +14,7 @@ import (
 	"djstar/internal/hardware"
 	"djstar/internal/library"
 	"djstar/internal/middleware"
+	"djstar/internal/sched"
 )
 
 // Config configures the application.
@@ -29,6 +30,9 @@ type Config struct {
 	// PositionEvery throttles deck-position events to every n-th cycle
 	// (default 16 ≈ 21 updates/s, a typical UI refresh budget).
 	PositionEvery int
+	// HealthEvery throttles engine-health events to every n-th cycle
+	// (default 128 ≈ 2.7 updates/s).
+	HealthEvery int
 }
 
 // App owns the wired-up application.
@@ -44,25 +48,67 @@ type App struct {
 
 	performer     *hardware.Performer
 	positionEvery int
+	healthEvery   int
 	cycle         int64
 	lastPhase     []float64
 }
 
 // New builds the application.
 func New(cfg Config) (*App, error) {
-	e, err := engine.New(cfg.Engine)
+	// The bus exists before the engine so the engine's fault and governor
+	// callbacks can publish onto it; user-supplied callbacks still run.
+	// The callbacks capture `a` (assigned below) for the cycle stamp; they
+	// can only fire from Cycle, long after New has returned.
+	var a *App
+	bus := middleware.New()
+	ecfg := cfg.Engine
+	userFault := ecfg.OnFault
+	ecfg.OnFault = func(r sched.FaultRecord) {
+		// Fires on whichever worker ran the node; Publish is thread-safe.
+		bus.Publish(middleware.TopicFault, middleware.FaultEvent{
+			Cycle:       r.Cycle,
+			Node:        r.Name,
+			Worker:      int(r.Worker),
+			Err:         fmt.Sprint(r.Err),
+			Quarantined: r.Quarantined,
+		})
+		if userFault != nil {
+			userFault(r)
+		}
+	}
+	userGov := ecfg.OnGovChange
+	ecfg.OnGovChange = func(from, to engine.GovLevel) {
+		// Fires on the cycle thread, like the a.cycle increment.
+		var cycle int64
+		if a != nil {
+			cycle = a.cycle
+		}
+		bus.Publish(middleware.TopicDegrade, middleware.DegradeEvent{
+			Cycle: cycle,
+			From:  from.String(),
+			To:    to.String(),
+		})
+		if userGov != nil {
+			userGov(from, to)
+		}
+	}
+	e, err := engine.New(ecfg)
 	if err != nil {
 		return nil, fmt.Errorf("app: %w", err)
 	}
-	a := &App{
+	a = &App{
 		Engine:        e,
-		Bus:           middleware.New(),
+		Bus:           bus,
 		Library:       library.New(cfg.Engine.Graph.Rate),
 		Mapping:       hardware.NewMapping(e.Session()),
 		positionEvery: cfg.PositionEvery,
+		healthEvery:   cfg.HealthEvery,
 	}
 	if a.positionEvery <= 0 {
 		a.positionEvery = 16
+	}
+	if a.healthEvery <= 0 {
+		a.healthEvery = 128
 	}
 	if cfg.PerformerSeed != 0 {
 		a.performer = hardware.NewPerformer(cfg.PerformerSeed, len(e.Session().Decks))
@@ -131,6 +177,29 @@ func (a *App) Cycle(m *engine.Metrics) {
 			Source: "master",
 			Peak:   out.Peak(),
 			RMS:    out.RMS(),
+		})
+	}
+
+	// Throttled health report: governor level, fault counters, watchdog
+	// stalls, and the bus's own drop totals (the middleware reporting on
+	// itself — a slow consumer shows up here, not as audio jitter).
+	if a.cycle%int64(a.healthEvery) == 0 {
+		h := a.Engine.Health()
+		drops := a.Bus.TopicDrops()
+		var total int64
+		for _, d := range drops {
+			total += d
+		}
+		a.Bus.Publish(middleware.TopicHealth, middleware.HealthReport{
+			Cycle:           a.cycle,
+			Level:           h.Level.String(),
+			LoadFactor:      h.LoadFactor,
+			WindowMissRate:  h.WindowMissRate,
+			FaultsRecovered: h.Faults.Recovered,
+			Quarantined:     h.Quarantined,
+			Stalls:          h.Stalls,
+			BusDrops:        total,
+			DropsByTopic:    drops,
 		})
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"djstar/internal/audio"
 	"djstar/internal/engine"
+	"djstar/internal/faults"
 	"djstar/internal/graph"
 	"djstar/internal/middleware"
 	"djstar/internal/sched"
@@ -144,5 +145,54 @@ func TestAppMetricsAccumulate(t *testing.T) {
 	}
 	if m.Graph.Mean() <= 0 {
 		t.Fatal("no graph timing")
+	}
+}
+
+func TestAppPublishesHealthAndFaultEvents(t *testing.T) {
+	cfg := testConfig()
+	// Inject three consecutive panics into an FX node: the facade must
+	// surface each contained fault and the quarantine in bus events.
+	cfg.Engine.Graph.Faults = faults.New(1, faults.MustParse("panic:FXA2@5x3")...)
+	cfg.HealthEvery = 16
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	health, _ := a.Bus.Subscribe(middleware.TopicHealth, 64)
+	fault, _ := a.Bus.Subscribe(middleware.TopicFault, 64)
+	a.RunCycles(64)
+
+	if got := len(fault.Events()); got != 3 {
+		t.Fatalf("fault events = %d, want 3", got)
+	}
+	sawQuarantine := false
+	for i := 0; i < 3; i++ {
+		ev := (<-fault.Events()).Payload.(middleware.FaultEvent)
+		if ev.Node != "FXA2" || ev.Err == "" {
+			t.Fatalf("bad fault event %+v", ev)
+		}
+		sawQuarantine = sawQuarantine || ev.Quarantined
+	}
+	if !sawQuarantine {
+		t.Fatal("no fault event reported the quarantine trip")
+	}
+
+	if len(health.Events()) == 0 {
+		t.Fatal("no health events published")
+	}
+	var last middleware.HealthReport
+	for len(health.Events()) > 0 {
+		last = (<-health.Events()).Payload.(middleware.HealthReport)
+	}
+	if last.FaultsRecovered != 3 {
+		t.Fatalf("health FaultsRecovered = %d, want 3", last.FaultsRecovered)
+	}
+	if len(last.Quarantined) != 1 || last.Quarantined[0] != "FXA2" {
+		t.Fatalf("health Quarantined = %v, want [FXA2]", last.Quarantined)
+	}
+	if last.Level != "normal" {
+		t.Fatalf("health Level = %q, want normal (no governor)", last.Level)
 	}
 }

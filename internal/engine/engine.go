@@ -14,8 +14,10 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"djstar/internal/audio"
@@ -65,6 +67,32 @@ type Config struct {
 	// (re-enabled on Close), removing GC pauses from the distribution —
 	// see DESIGN.md §6 on busy-wait fidelity in Go.
 	DisableGC bool
+
+	// FaultPolicy configures node quarantine (zero fields = sched
+	// defaults: quarantine after 3 consecutive faults, probe every 512
+	// cycles).
+	FaultPolicy sched.FaultPolicy
+	// OnFault, when set, is invoked synchronously from the worker that
+	// recovered a node panic; it must be cheap and concurrency-safe.
+	OnFault func(sched.FaultRecord)
+
+	// Governor configures the deadline governor (graceful degradation
+	// under overload); see GovernorConfig.
+	Governor GovernorConfig
+	// OnGovChange, when set, is notified of governor level transitions
+	// (called on the cycle thread).
+	OnGovChange func(from, to GovLevel)
+
+	// Watchdog enables the stall watchdog: a monitor goroutine that
+	// detects a graph execution stuck past the hard wall and reports the
+	// offending node instead of letting the process hang silently.
+	Watchdog bool
+	// WatchdogWallMS is the stall wall in milliseconds (default
+	// 50 × DeadlineMS ≈ 145 ms).
+	WatchdogWallMS float64
+	// OnStall, when set, is invoked from the watchdog goroutine when a
+	// stall is detected.
+	OnStall func(StallRecord)
 }
 
 // Engine owns a session, a compiled plan, a scheduler and the timecode
@@ -89,6 +117,18 @@ type Engine struct {
 	gpLoad graph.Load
 	vcLoad graph.Load
 
+	// lf is the shared runtime load factor on every node and component
+	// load; the effective value is userFactor × the governor's factor.
+	lf         *graph.LoadFactor
+	userFactor atomic.Uint64 // float64 bits
+	govFactor  atomic.Uint64 // float64 bits
+
+	gov *governor
+	wd  *watchdog
+
+	// cycleN counts Cycle calls (the watchdog's cycle coordinate).
+	cycleN uint64
+
 	masterTempo float64
 	prevGC      int
 	closed      bool
@@ -106,6 +146,13 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Threads <= 0 {
 		cfg.Threads = 4
+	}
+	// The engine owns the runtime load factor: the governor's critical
+	// mode and user overload control (SetLoadFactor) compose through it.
+	lf := cfg.Graph.LoadFactor
+	if lf == nil {
+		lf = graph.NewLoadFactor()
+		cfg.Graph.LoadFactor = lf
 	}
 	session, g, err := graph.BuildDJStar(cfg.Graph)
 	if err != nil {
@@ -152,7 +199,30 @@ func New(cfg Config) (*Engine, error) {
 		sched:       scheduler,
 		ownedPool:   ownedPool,
 		seq:         sharedSequence,
+		lf:          lf,
 		masterTempo: 1,
+	}
+	e.userFactor.Store(math.Float64bits(1))
+	e.govFactor.Store(math.Float64bits(1))
+
+	scheduler.SetFaultPolicy(cfg.FaultPolicy)
+	if cfg.OnFault != nil {
+		scheduler.SetFaultHandler(cfg.OnFault)
+	}
+	if cfg.Governor.Enabled {
+		e.gov = newGovernor(cfg.Governor, scheduler, plan, func(f float64) {
+			e.govFactor.Store(math.Float64bits(f))
+			e.applyLoadFactor()
+		})
+		e.gov.onChange = cfg.OnGovChange
+	}
+	if cfg.Watchdog {
+		wallMS := cfg.WatchdogWallMS
+		if wallMS <= 0 {
+			wallMS = 50 * DeadlineMS
+		}
+		e.wd = newWatchdog(scheduler, plan,
+			time.Duration(wallMS*float64(time.Millisecond)), cfg.OnStall)
 	}
 
 	// Timecode front end: one virtual turntable per deck, spinning at the
@@ -169,15 +239,92 @@ func New(cfg Config) (*Engine, error) {
 		e.tcSpeed = append(e.tcSpeed, speeds[d%len(speeds)])
 	}
 
-	e.tpLoad = graph.NewLoad(graph.Cost{BaseUS: targetTPUS}, cfg.Graph.Calibration, cfg.Graph.Scale)
-	e.gpLoad = graph.NewLoad(graph.Cost{BaseUS: targetGPUS}, cfg.Graph.Calibration, cfg.Graph.Scale)
-	e.vcLoad = graph.NewLoad(graph.Cost{BaseUS: targetVCUS}, cfg.Graph.Calibration, cfg.Graph.Scale)
+	e.tpLoad = graph.NewLoad(graph.Cost{BaseUS: targetTPUS}, cfg.Graph.Calibration, cfg.Graph.Scale).WithFactor(lf)
+	e.gpLoad = graph.NewLoad(graph.Cost{BaseUS: targetGPUS}, cfg.Graph.Calibration, cfg.Graph.Scale).WithFactor(lf)
+	e.vcLoad = graph.NewLoad(graph.Cost{BaseUS: targetVCUS}, cfg.Graph.Calibration, cfg.Graph.Scale).WithFactor(lf)
 
 	if cfg.DisableGC {
 		runtime.GC()
 		e.prevGC = debug.SetGCPercent(-1)
 	}
 	return e, nil
+}
+
+// applyLoadFactor recomputes the effective load factor from the user and
+// governor components.
+func (e *Engine) applyLoadFactor() {
+	user := math.Float64frombits(e.userFactor.Load())
+	gov := math.Float64frombits(e.govFactor.Load())
+	e.lf.Set(user * gov)
+}
+
+// SetLoadFactor scales every node and component cost target at run time
+// (1.0 = nominal). Overload experiments inflate it to simulate a machine
+// suddenly too slow for the graph; the governor's critical mode composes
+// with it multiplicatively. Safe to call from any thread.
+func (e *Engine) SetLoadFactor(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	e.userFactor.Store(math.Float64bits(f))
+	e.applyLoadFactor()
+}
+
+// LoadFactor returns the effective (user × governor) load factor.
+func (e *Engine) LoadFactor() float64 { return e.lf.Get() }
+
+// GovLevel returns the governor's current degradation level (GovNormal
+// when the governor is disabled).
+func (e *Engine) GovLevel() GovLevel {
+	if e.gov == nil {
+		return GovNormal
+	}
+	return e.gov.Level()
+}
+
+// Health is a point-in-time snapshot of the engine's fault-tolerance and
+// degradation state.
+type Health struct {
+	// Level is the governor's degradation level.
+	Level GovLevel
+	// LoadFactor is the effective (user × governor) load factor.
+	LoadFactor float64
+	// WindowMissRate and WindowGraphP99MS are the governor's last
+	// completed evaluation window (0 when disabled).
+	WindowMissRate   float64
+	WindowGraphP99MS float64
+	// Faults are the scheduler's cumulative fault counters.
+	Faults sched.FaultStats
+	// Quarantined lists the currently quarantined node names.
+	Quarantined []string
+	// Stalls is the watchdog's cumulative stall count; LastStall is the
+	// most recent record (nil if none, or watchdog disabled).
+	Stalls    int64
+	LastStall *StallRecord
+}
+
+// Health assembles a health snapshot. It allocates (the quarantine list)
+// and is meant for UI/telemetry rates, not the audio hot path.
+func (e *Engine) Health() Health {
+	h := Health{
+		Level:      e.GovLevel(),
+		LoadFactor: e.lf.Get(),
+		Faults:     e.sched.Faults(),
+	}
+	if e.gov != nil {
+		h.WindowMissRate = math.Float64frombits(e.gov.lastRate.Load())
+		h.WindowGraphP99MS = math.Float64frombits(e.gov.lastP99.Load())
+	}
+	for i := range e.plan.Names {
+		if e.sched.Quarantined(int32(i)) {
+			h.Quarantined = append(h.Quarantined, e.plan.Names[i])
+		}
+	}
+	if e.wd != nil {
+		h.Stalls = e.wd.Stalls()
+		h.LastStall = e.wd.Last()
+	}
+	return h
 }
 
 // Session exposes the audio session (decks, mixer, FX) for live control.
@@ -195,6 +342,9 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
+	if e.wd != nil {
+		e.wd.close()
+	}
 	e.sched.Close()
 	if e.ownedPool != nil {
 		e.ownedPool.Close()
@@ -222,6 +372,13 @@ type Metrics struct {
 	// collection is enabled (for histograms and percentiles).
 	GraphSamplesMS []float64
 	APCSamplesMS   []float64
+
+	// Fault-tolerance outcome of the run, stamped when RunCycles /
+	// RunRealtime return: the scheduler's cumulative fault counters, the
+	// watchdog's stall count, and the governor's final level.
+	Faults     sched.FaultStats
+	Stalls     int64
+	FinalLevel GovLevel
 }
 
 func newMetrics(strategy string, threads int) *Metrics {
@@ -258,7 +415,24 @@ func (e *Engine) RunCycles(n int) *Metrics {
 	for i := 0; i < n; i++ {
 		e.Cycle(m)
 	}
+	e.StampMetrics(m)
 	return m
+}
+
+// NewMetrics returns an empty metrics sink for manual Cycle loops (the
+// chaos/governor drivers observe per-cycle state between cycles); call
+// StampMetrics when the loop finishes.
+func (e *Engine) NewMetrics() *Metrics { return newMetrics(e.sched.Name(), e.sched.Threads()) }
+
+// StampMetrics records the run's fault-tolerance outcome (fault counters,
+// stall count, final governor level) into m. RunCycles and RunRealtime
+// call it automatically.
+func (e *Engine) StampMetrics(m *Metrics) {
+	m.Faults = e.sched.Faults()
+	if e.wd != nil {
+		m.Stalls = e.wd.Stalls()
+	}
+	m.FinalLevel = e.GovLevel()
 }
 
 // Cycle executes one APC, accumulating into m (which may be nil).
@@ -278,14 +452,25 @@ func (e *Engine) Cycle(m *Metrics) {
 	e.gpLoad.RunSince(gpStart, false)
 	t2 := time.Now()
 
-	// Graph: the task graph under the configured scheduling strategy.
+	// Graph: the task graph under the configured scheduling strategy,
+	// under the stall watchdog when enabled.
+	e.cycleN++
+	if e.wd != nil {
+		e.wd.arm(e.cycleN)
+	}
 	e.sched.Execute()
+	if e.wd != nil {
+		e.wd.disarm()
+	}
 	t3 := time.Now()
 
 	// VC: various calculations (master tempo smoothing, accounting).
 	e.variousCalculations()
 	t4 := time.Now()
 
+	if e.gov != nil {
+		e.gov.observe(t4.Sub(t0).Seconds()*1e3, t3.Sub(t2).Seconds()*1e3)
+	}
 	if m == nil {
 		return
 	}
@@ -394,5 +579,6 @@ func (e *Engine) RunRealtime(n int) *RealtimeReport {
 			}
 		}
 	}
+	e.StampMetrics(m)
 	return rep
 }

@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"math"
+	"sync/atomic"
+
+	"djstar/internal/graph"
+	"djstar/internal/sched"
+	"djstar/internal/stats"
+)
+
+// GovLevel is the deadline governor's degradation level. Levels are
+// ordered: each one sheds strictly more work than the previous.
+type GovLevel int32
+
+const (
+	// GovNormal runs the full graph.
+	GovNormal GovLevel = iota
+	// GovDegraded1 sheds the meter and control nodes — UI-only work that
+	// is invisible to the audio path.
+	GovDegraded1
+	// GovDegraded2 additionally bypasses the FX nodes: the mix stays
+	// intact, just dry.
+	GovDegraded2
+	// GovCritical additionally scales the load factor down (cheaper
+	// kernels at reduced quality) — the last stop before audible drops.
+	GovCritical
+)
+
+// String returns the level label.
+func (l GovLevel) String() string {
+	switch l {
+	case GovNormal:
+		return "normal"
+	case GovDegraded1:
+		return "degraded1"
+	case GovDegraded2:
+		return "degraded2"
+	case GovCritical:
+		return "critical"
+	default:
+		return "unknown"
+	}
+}
+
+// GovernorConfig tunes the deadline governor. Zero fields take defaults.
+type GovernorConfig struct {
+	// Enabled turns the governor on.
+	Enabled bool
+	// DeadlineMS is the APC deadline whose misses drive escalation
+	// (default DeadlineMS, the 2.902 ms packet period).
+	DeadlineMS float64
+	// GraphBudgetMS is the graph-time budget whose p99 drives escalation
+	// (default GraphBudgetMS, 2.1 ms).
+	GraphBudgetMS float64
+	// Window is the evaluation window in cycles (default 128): miss rate
+	// and p99 are assessed once per window.
+	Window int
+	// EscalateMissRate escalates one level when the window's APC miss
+	// rate exceeds it (default 0.05).
+	EscalateMissRate float64
+	// CleanWindows is how many consecutive miss-free windows trigger
+	// de-escalation by one level (default 4) — the hysteresis that stops
+	// the governor from oscillating at a load boundary.
+	CleanWindows int
+	// CriticalFactor is the load-factor multiplier applied at GovCritical
+	// (default 0.5).
+	CriticalFactor float64
+}
+
+func (c GovernorConfig) withDefaults() GovernorConfig {
+	if c.DeadlineMS <= 0 {
+		c.DeadlineMS = DeadlineMS
+	}
+	if c.GraphBudgetMS <= 0 {
+		c.GraphBudgetMS = GraphBudgetMS
+	}
+	if c.Window <= 0 {
+		c.Window = 128
+	}
+	if c.EscalateMissRate <= 0 {
+		c.EscalateMissRate = 0.05
+	}
+	if c.CleanWindows <= 0 {
+		c.CleanWindows = 4
+	}
+	if c.CriticalFactor <= 0 || c.CriticalFactor >= 1 {
+		c.CriticalFactor = 0.5
+	}
+	return c
+}
+
+// governor is the engine's graceful-degradation state machine. It runs
+// entirely on the cycle thread (observe is called once per cycle between
+// graph executions); only the level is published atomically for Health
+// readers on other threads.
+type governor struct {
+	cfg   GovernorConfig
+	sched sched.Scheduler
+	plan  *graph.Plan
+
+	level atomic.Int32
+
+	// Window accounting (cycle thread only).
+	cycles  int
+	misses  int
+	graphMS []float64 // window's graph times, for the p99 trigger
+	clean   int       // consecutive miss-free windows
+	// Last completed window's miss rate / p99, published for Health
+	// readers on other threads (float64 bits).
+	lastRate    atomic.Uint64
+	lastP99     atomic.Uint64
+	escalates   atomic.Int64
+	deescalates atomic.Int64
+
+	// onChange, when set, is notified of level transitions (cycle thread).
+	onChange func(from, to GovLevel)
+	// setFactor applies the governor's load-factor multiplier (the engine
+	// composes it with the user's overload factor).
+	setFactor func(float64)
+}
+
+func newGovernor(cfg GovernorConfig, s sched.Scheduler, p *graph.Plan, setFactor func(float64)) *governor {
+	cfg = cfg.withDefaults()
+	return &governor{
+		cfg:       cfg,
+		sched:     s,
+		plan:      p,
+		graphMS:   make([]float64, 0, cfg.Window),
+		setFactor: setFactor,
+	}
+}
+
+// Level returns the current degradation level (any thread).
+func (g *governor) Level() GovLevel { return GovLevel(g.level.Load()) }
+
+// observe feeds one cycle's APC and graph times; once per window it
+// decides whether to escalate or recover.
+func (g *governor) observe(apcMS, graphMS float64) {
+	g.cycles++
+	if apcMS > g.cfg.DeadlineMS {
+		g.misses++
+	}
+	g.graphMS = append(g.graphMS, graphMS)
+	if g.cycles < g.cfg.Window {
+		return
+	}
+	rate := float64(g.misses) / float64(g.cycles)
+	p99 := stats.Percentiles(g.graphMS, 0.99)[0]
+	g.lastRate.Store(math.Float64bits(rate))
+	g.lastP99.Store(math.Float64bits(p99))
+	g.cycles = 0
+	g.misses = 0
+	g.graphMS = g.graphMS[:0]
+
+	level := g.Level()
+	switch {
+	case rate > g.cfg.EscalateMissRate || p99 > g.cfg.GraphBudgetMS:
+		g.clean = 0
+		if level < GovCritical {
+			g.transition(level, level+1)
+			g.escalates.Add(1)
+		}
+	case rate == 0:
+		g.clean++
+		if g.clean >= g.cfg.CleanWindows && level > GovNormal {
+			g.transition(level, level-1)
+			g.deescalates.Add(1)
+			g.clean = 0
+		}
+	default:
+		// Some misses, but under the escalation threshold: hold the
+		// level and restart the clean streak.
+		g.clean = 0
+	}
+}
+
+// transition applies a level change: shedding by node kind, the critical
+// load factor, and the change notification.
+func (g *governor) transition(from, to GovLevel) {
+	g.level.Store(int32(to))
+	shedUI := to >= GovDegraded1
+	shedFX := to >= GovDegraded2
+	for i, k := range g.plan.Kinds {
+		switch k {
+		case graph.KindMeter, graph.KindControl:
+			g.sched.SetNodeShed(int32(i), shedUI)
+		case graph.KindFX:
+			g.sched.SetNodeShed(int32(i), shedFX)
+		}
+	}
+	f := 1.0
+	if to >= GovCritical {
+		f = g.cfg.CriticalFactor
+	}
+	g.setFactor(f)
+	if g.onChange != nil {
+		g.onChange(from, to)
+	}
+}

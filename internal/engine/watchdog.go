@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"djstar/internal/graph"
+	"djstar/internal/sched"
+)
+
+// StallRecord describes one detected graph-execution stall.
+type StallRecord struct {
+	// Cycle is the engine cycle (1-based) that stalled.
+	Cycle uint64
+	// Node and Name identify the first in-flight node at detection time —
+	// the prime suspect for the wedge. Node is -1 when no worker reported
+	// an in-flight node (the stall is in the scheduler itself).
+	Node int32
+	Name string
+	// Worker is the worker running Node.
+	Worker int32
+	// Inflight lists every (worker, node) pair in flight at detection,
+	// formatted "w0:FXA2 w3:Mixer" — the full diagnostic.
+	Inflight string
+	// ElapsedMS is how long the graph execution had been running.
+	ElapsedMS float64
+}
+
+// watchdog detects cycles stuck inside graph execution. The cycle thread
+// arms it around sched.Execute; a monitor goroutine checks the armed
+// timestamp and, when an execution exceeds the hard wall, records a
+// StallRecord naming the in-flight node(s) and notifies the handler —
+// turning a silent hang into an actionable diagnostic. Detection is
+// level-triggered once per cycle.
+type watchdog struct {
+	sched sched.Scheduler
+	plan  *graph.Plan
+	wall  time.Duration
+
+	// startNs is the armed graph-execution start time (0 = not armed).
+	startNs atomic.Int64
+	// gen is the engine cycle being executed.
+	gen atomic.Uint64
+	// firedGen is the last cycle a stall was reported for.
+	firedGen atomic.Uint64
+
+	stalls atomic.Int64
+	last   atomic.Pointer[StallRecord]
+
+	// onStall, when set, is invoked from the monitor goroutine.
+	onStall func(StallRecord)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newWatchdog(s sched.Scheduler, p *graph.Plan, wall time.Duration, onStall func(StallRecord)) *watchdog {
+	w := &watchdog{
+		sched:   s,
+		plan:    p,
+		wall:    wall,
+		onStall: onStall,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go w.monitor()
+	return w
+}
+
+// arm marks the start of a graph execution (cycle thread).
+func (w *watchdog) arm(cycle uint64) {
+	w.gen.Store(cycle)
+	w.startNs.Store(time.Now().UnixNano())
+}
+
+// disarm marks the end of the graph execution (cycle thread).
+func (w *watchdog) disarm() { w.startNs.Store(0) }
+
+// close stops the monitor goroutine and waits for it to exit.
+func (w *watchdog) close() {
+	close(w.stop)
+	<-w.done
+}
+
+// Stalls returns the cumulative stall count.
+func (w *watchdog) Stalls() int64 { return w.stalls.Load() }
+
+// Last returns the most recent stall record (nil if none).
+func (w *watchdog) Last() *StallRecord { return w.last.Load() }
+
+// monitor polls the armed timestamp at wall/8 granularity; detection
+// latency is therefore at most wall*9/8.
+func (w *watchdog) monitor() {
+	defer close(w.done)
+	tick := w.wall / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+		}
+		start := w.startNs.Load()
+		if start == 0 {
+			continue
+		}
+		elapsed := time.Duration(time.Now().UnixNano() - start)
+		if elapsed < w.wall {
+			continue
+		}
+		gen := w.gen.Load()
+		if w.firedGen.Load() == gen {
+			continue // already reported this cycle's stall
+		}
+		w.firedGen.Store(gen)
+		rec := w.diagnose(gen, elapsed)
+		w.stalls.Add(1)
+		w.last.Store(&rec)
+		if w.onStall != nil {
+			w.onStall(rec)
+		}
+	}
+}
+
+// diagnose assembles the stall record from the scheduler's in-flight
+// worker state.
+func (w *watchdog) diagnose(gen uint64, elapsed time.Duration) StallRecord {
+	rec := StallRecord{
+		Cycle:     gen,
+		Node:      -1,
+		Worker:    -1,
+		ElapsedMS: float64(elapsed) / 1e6,
+	}
+	var b strings.Builder
+	for wk := int32(0); wk < int32(w.sched.Threads()); wk++ {
+		in := w.sched.Inflight(wk)
+		if in == 0 {
+			continue
+		}
+		node := in - 1
+		if rec.Node < 0 {
+			rec.Node = node
+			rec.Name = w.plan.Names[node]
+			rec.Worker = wk
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "w%d:%s", wk, w.plan.Names[node])
+	}
+	rec.Inflight = b.String()
+	return rec
+}

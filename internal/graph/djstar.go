@@ -7,6 +7,7 @@ import (
 	"djstar/internal/deck"
 	"djstar/internal/dsp"
 	"djstar/internal/effects"
+	"djstar/internal/faults"
 	"djstar/internal/mixer"
 	"djstar/internal/synth"
 )
@@ -38,6 +39,14 @@ type Config struct {
 	Tracks []*synth.Track
 	// TrackBars sizes the default synthetic tracks (16 bars ≈ 30 s).
 	TrackBars int
+	// Faults, when set, wraps every node with the injector so failure
+	// scenarios (panic, stall, slow, jitter) fire at scripted cycles.
+	// Session.Prepare advances the injector's cycle counter.
+	Faults *faults.Injector
+	// LoadFactor, when set, scales every node's spin cost target at run
+	// time (shared with the engine's TP/GP/VC loads); the engine's
+	// deadline governor and overload experiments drive it.
+	LoadFactor *LoadFactor
 }
 
 // DefaultConfig returns the paper's evaluation configuration: 4 decks,
@@ -159,6 +168,11 @@ func (s *Session) Loudness() float64 { return s.loudness }
 // threshold in the last prepared cycle.
 func (s *Session) DeckActive(d int) bool { return s.active[d] }
 
+// DeckMixRMS returns the RMS of deck d's post-FX mix buffer from the last
+// graph execution; chaos experiments use it to count silent packets after
+// a fault flush.
+func (s *Session) DeckMixRMS(d int) float64 { return s.deckMix[d].RMS() }
+
 // OutputStage exposes the AudioOut1 limiter/clipper for diagnostics.
 func (s *Session) OutputStage() *mixer.OutputStage { return s.outStage }
 
@@ -173,6 +187,9 @@ const activityThreshold = 0.05
 // It must be called before each graph execution and never concurrently
 // with one.
 func (s *Session) Prepare() {
+	if s.cfg.Faults != nil {
+		s.cfg.Faults.BeginCycle()
+	}
 	for d, dk := range s.Decks {
 		dk.ReadPacket(s.deckIn[d])
 		s.active[d] = s.deckIn[d].RMS() > activityThreshold
@@ -192,17 +209,37 @@ func BuildDJStar(cfg Config) (*Session, *Graph, error) {
 
 	// add registers a node whose cost is topped up to the target: the
 	// kernel runs the real DSP and returns whether the node's input was
-	// "active" (loud), which selects the data-dependent extra cost.
-	add := func(name string, sec Section, c Cost, kernel func() bool) int {
-		l := NewLoad(c, cfg.Calibration, cfg.Scale)
+	// "active" (loud), which selects the data-dependent extra cost. The
+	// meta carries the node's degradation classification and its
+	// quarantine/shed bypass and fault-flush hooks; the fault injector
+	// (when configured) wraps the finished run function so scripted
+	// failures fire inside the node, under the scheduler's recovery.
+	type meta struct {
+		kind   NodeKind
+		bypass func()
+		flush  func()
+	}
+	addMeta := func(name string, sec Section, c Cost, kernel func() bool, x meta) int {
+		l := NewLoad(c, cfg.Calibration, cfg.Scale).WithFactor(cfg.LoadFactor)
+		var run func()
 		if !l.Enabled() {
-			return g.AddNode(name, sec, func() { kernel() })
+			run = func() { kernel() }
+		} else {
+			run = func() {
+				start := nowNanos()
+				active := kernel()
+				l.RunSince(start, active)
+			}
 		}
-		return g.AddNode(name, sec, func() {
-			start := nowNanos()
-			active := kernel()
-			l.RunSince(start, active)
-		})
+		if cfg.Faults != nil {
+			run = cfg.Faults.Wrap(name, run)
+		}
+		id := g.AddNode(name, sec, run)
+		n := g.Node(id)
+		n.Kind = x.kind
+		n.Bypass = x.bypass
+		n.Flush = x.flush
+		return id
 	}
 
 	deckNames := []string{"A", "B", "C", "D"}
@@ -216,38 +253,53 @@ func BuildDJStar(cfg Config) (*Session, *Graph, error) {
 		// SP sources: per-band filters over the deck's input packet.
 		for i := 0; i < cfg.SPPerDeck; i++ {
 			i := i
-			spIDs[i] = add(fmt.Sprintf("SP%s%d", deckNames[d], i+1), sec, CostSP, func() bool {
+			spIDs[i] = addMeta(fmt.Sprintf("SP%s%d", deckNames[d], i+1), sec, CostSP, func() bool {
 				buf := s.spBuf[d][i]
 				buf.CopyFrom(s.deckIn[d])
 				s.spFiltL[d][i].Process(buf.L)
 				s.spFiltR[d][i].Process(buf.R)
 				return s.active[d]
+			}, meta{
+				kind:   KindAudio,
+				bypass: func() { s.spBuf[d][i].CopyFrom(s.deckIn[d]) },
+				flush:  func() { s.spBuf[d][i].Zero() },
 			})
 		}
 
 		// FX chain: FX1 gathers the SP bands, FX2..FXn process in place.
+		// FX1's bypass gathers the dry mix without the effect so the chain
+		// stays fed while FX1 is quarantined or shed; the in-place units'
+		// nil bypass means "skip", which passes the dry signal through.
+		gather := func() {
+			mix := s.deckMix[d]
+			mix.Zero()
+			gain := 1 / float64(cfg.SPPerDeck)
+			for _, sp := range s.spBuf[d] {
+				mix.AddFrom(sp, gain)
+			}
+		}
 		prev := -1
 		for j := 0; j < cfg.FXPerDeck; j++ {
 			j := j
 			var kernel func() bool
+			x := meta{
+				kind:  KindFX,
+				flush: func() { s.deckMix[d].Zero() },
+			}
 			if j == 0 {
-				gain := 1 / float64(cfg.SPPerDeck)
 				kernel = func() bool {
-					mix := s.deckMix[d]
-					mix.Zero()
-					for _, sp := range s.spBuf[d] {
-						mix.AddFrom(sp, gain)
-					}
-					s.FX[d][0].Process(mix)
+					gather()
+					s.FX[d][0].Process(s.deckMix[d])
 					return s.active[d]
 				}
+				x.bypass = gather
 			} else {
 				kernel = func() bool {
 					s.FX[d][j].Process(s.deckMix[d])
 					return s.active[d]
 				}
 			}
-			id := add(fmt.Sprintf("FX%s%d", deckNames[d], j+1), sec, CostFX, kernel)
+			id := addMeta(fmt.Sprintf("FX%s%d", deckNames[d], j+1), sec, CostFX, kernel, x)
 			if j == 0 {
 				for _, sp := range spIDs {
 					mustEdge(g, sp, id)
@@ -260,19 +312,24 @@ func BuildDJStar(cfg Config) (*Session, *Graph, error) {
 
 		// Channel strip.
 		{
-			id := add("Channel"+deckNames[d], sec, CostChannel, func() bool {
+			x := meta{
+				kind:  KindAudio,
+				flush: func() { s.deckMix[d].Zero() },
+			}
+			if cfg.FXPerDeck == 0 {
+				// Without FX the channel gathers the SP bands itself, so a
+				// quarantined channel must still gather or the deck goes
+				// stale; with FX the strip is in-place and skipping it
+				// passes the deck mix through.
+				x.bypass = gather
+			}
+			id := addMeta("Channel"+deckNames[d], sec, CostChannel, func() bool {
 				if cfg.FXPerDeck == 0 {
-					// No FX: the channel gathers the SP bands itself.
-					mix := s.deckMix[d]
-					mix.Zero()
-					gain := 1 / float64(cfg.SPPerDeck)
-					for _, sp := range s.spBuf[d] {
-						mix.AddFrom(sp, gain)
-					}
+					gather()
 				}
 				s.Strips[d].Process(s.deckMix[d])
 				return s.active[d]
-			})
+			}, x)
 			if prev >= 0 {
 				mustEdge(g, prev, id)
 			} else {
@@ -285,15 +342,23 @@ func BuildDJStar(cfg Config) (*Session, *Graph, error) {
 	}
 
 	// Sampler source.
-	samplerID := add("Sampler", SectionMaster, CostSampler, func() bool {
+	samplerID := addMeta("Sampler", SectionMaster, CostSampler, func() bool {
 		s.Sampler.ReadPacket(s.samplerBuf)
 		return s.Sampler.Playing()
+	}, meta{
+		kind:   KindAudio,
+		bypass: func() { s.samplerBuf.Zero() },
+		flush:  func() { s.samplerBuf.Zero() },
 	})
 
 	// Mixer: all channels + sampler.
-	mixerID := add("Mixer", SectionMaster, CostMixer, func() bool {
+	mixerID := addMeta("Mixer", SectionMaster, CostMixer, func() bool {
 		s.Mix.MixInto(s.masterMix, s.chanInputs, s.samplerBuf)
 		return true
+	}, meta{
+		kind:   KindAudio,
+		bypass: func() { s.masterMix.Zero() },
+		flush:  func() { s.masterMix.Zero() },
 	})
 	for _, ch := range channelIDs {
 		mustEdge(g, ch, mixerID)
@@ -301,39 +366,65 @@ func BuildDJStar(cfg Config) (*Session, *Graph, error) {
 	mustEdge(g, samplerID, mixerID)
 
 	// Cue buffer (needs the channels and the mixed master for blending).
-	cueID := add("CueBuffer", SectionMaster, CostCue, func() bool {
+	cueID := addMeta("CueBuffer", SectionMaster, CostCue, func() bool {
 		s.Mix.CueInto(s.cueBuf, s.chanInputs, s.masterMix)
 		return true
+	}, meta{
+		kind:   KindAudio,
+		bypass: func() { s.cueBuf.Zero() },
+		flush:  func() { s.cueBuf.Zero() },
 	})
 	mustEdge(g, mixerID, cueID)
 
 	// Monitor buffer: mono downmix of the cue bus.
-	monitorID := add("MonitorBuffer", SectionMaster, CostMonitor, func() bool {
+	monitorID := addMeta("MonitorBuffer", SectionMaster, CostMonitor, func() bool {
 		s.cueBuf.Mono(s.monitorMono)
 		return true
+	}, meta{
+		kind:   KindAudio,
+		bypass: func() { s.monitorMono.Zero() },
+		flush:  func() { s.monitorMono.Zero() },
 	})
 	mustEdge(g, cueID, monitorID)
 
 	// Master buffer: snapshot + mono reference of the mix.
-	masterID := add("MasterBuffer", SectionMaster, CostMaster, func() bool {
+	masterID := addMeta("MasterBuffer", SectionMaster, CostMaster, func() bool {
 		s.masterBuf.CopyFrom(s.masterMix)
 		s.masterBuf.Mono(s.masterMono)
 		return true
+	}, meta{
+		kind: KindAudio,
+		bypass: func() {
+			s.masterBuf.Zero()
+			s.masterMono.Zero()
+		},
+		flush: func() {
+			s.masterBuf.Zero()
+			s.masterMono.Zero()
+		},
 	})
 	mustEdge(g, mixerID, masterID)
 
 	// Output and record paths.
-	outID := add("AudioOut1", SectionMaster, CostOut, func() bool {
+	outID := addMeta("AudioOut1", SectionMaster, CostOut, func() bool {
 		s.outBuf.CopyFrom(s.masterBuf)
 		s.outStage.Process(s.outBuf)
 		return true
+	}, meta{
+		kind:   KindAudio,
+		bypass: func() { s.outBuf.Zero() },
+		flush:  func() { s.outBuf.Zero() },
 	})
 	mustEdge(g, masterID, outID)
 
-	recordID := add("RecordBuffer", SectionMaster, CostRecord, func() bool {
+	recordID := addMeta("RecordBuffer", SectionMaster, CostRecord, func() bool {
 		s.recordBuf.CopyFrom(s.masterBuf)
 		s.recStage.Process(s.recordBuf)
 		return true
+	}, meta{
+		kind:   KindAudio,
+		bypass: func() { s.recordBuf.Zero() },
+		flush:  func() { s.recordBuf.Zero() },
 	})
 	mustEdge(g, masterID, recordID)
 
@@ -345,37 +436,37 @@ func BuildDJStar(cfg Config) (*Session, *Graph, error) {
 		i := i
 		kind := ctrlKinds[i%len(ctrlKinds)]
 		d := i % cfg.Decks
-		add(fmt.Sprintf("Ctrl%s%s", kind, deckNames[d]+suffix(i/len(ctrlKinds))),
+		addMeta(fmt.Sprintf("Ctrl%s%s", kind, deckNames[d]+suffix(i/len(ctrlKinds))),
 			SectionControl, CostControl, func() bool {
 				// Tiny deterministic state update (beat phase tracking).
 				s.controlState[i] = 0.9*s.controlState[i] + 0.1*s.Decks[d].BeatPhase()
 				return false
-			})
+			}, meta{kind: KindControl})
 	}
 
 	// Metering nodes.
 	if cfg.Meters {
 		for d := 0; d < cfg.Decks; d++ {
 			d := d
-			id := add("Meter"+deckNames[d], DeckSection(d), CostMeter, func() bool {
+			id := addMeta("Meter"+deckNames[d], DeckSection(d), CostMeter, func() bool {
 				s.deckMeters[d].Update(s.deckMix[d])
 				return false
-			})
+			}, meta{kind: KindMeter})
 			mustEdge(g, channelIDs[d], id)
 		}
-		id := add("MasterVU", SectionMaster, CostMeter, func() bool {
+		id := addMeta("MasterVU", SectionMaster, CostMeter, func() bool {
 			s.masterVU.Update(s.masterBuf)
 			return false
-		})
+		}, meta{kind: KindMeter})
 		mustEdge(g, masterID, id)
 
-		id = add("CueVU", SectionMaster, CostMeter, func() bool {
+		id = addMeta("CueVU", SectionMaster, CostMeter, func() bool {
 			s.cueVU.Update(s.cueBuf)
 			return false
-		})
+		}, meta{kind: KindMeter})
 		mustEdge(g, cueID, id)
 
-		id = add("Spectrum", SectionMaster, CostMeter, func() bool {
+		id = addMeta("Spectrum", SectionMaster, CostMeter, func() bool {
 			n := s.spectrum.Size()
 			for i := 0; i < n; i++ {
 				if i < len(s.masterMono) {
@@ -388,13 +479,13 @@ func BuildDJStar(cfg Config) (*Session, *Graph, error) {
 			s.spectrum.Transform(s.specRe, s.specIm)
 			dsp.Magnitudes(s.specRe, s.specIm, s.specMag)
 			return false
-		})
+		}, meta{kind: KindMeter})
 		mustEdge(g, masterID, id)
 
-		id = add("Loudness", SectionMaster, CostMeter, func() bool {
+		id = addMeta("Loudness", SectionMaster, CostMeter, func() bool {
 			s.loudness = 0.95*s.loudness + 0.05*s.masterBuf.RMS()
 			return false
-		})
+		}, meta{kind: KindMeter})
 		mustEdge(g, masterID, id)
 	}
 

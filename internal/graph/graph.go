@@ -53,6 +53,40 @@ func DeckSection(d int) Section {
 	return Section(int(SectionDeckA) + d%4)
 }
 
+// NodeKind classifies a node for the engine's graceful-degradation
+// ladder: under deadline pressure the governor sheds KindMeter and
+// KindControl nodes first (invisible to the audio path), then bypasses
+// KindFX nodes (audible but intact), and never sheds KindAudio nodes.
+type NodeKind int
+
+const (
+	// KindAudio nodes are load-bearing for the signal path (SP sources,
+	// channels, mixer, output); they are never shed.
+	KindAudio NodeKind = iota
+	// KindFX nodes are effect units with a safe pass-through bypass.
+	KindFX
+	// KindMeter nodes compute UI-only metering (VU, spectrum, loudness).
+	KindMeter
+	// KindControl nodes are short UI/sync computations (beat grids etc.).
+	KindControl
+)
+
+// String returns the kind label.
+func (k NodeKind) String() string {
+	switch k {
+	case KindAudio:
+		return "audio"
+	case KindFX:
+		return "fx"
+	case KindMeter:
+		return "meter"
+	case KindControl:
+		return "control"
+	default:
+		return "unknown"
+	}
+}
+
 // Node is one vertex of the task graph.
 type Node struct {
 	// ID is the node's index in the graph, assigned by AddNode.
@@ -61,10 +95,21 @@ type Node struct {
 	Name string
 	// Section locates the node in the mixer topology.
 	Section Section
+	// Kind classifies the node for load shedding (KindAudio by default).
+	Kind NodeKind
 	// Run executes the node's computation. It must be safe to call from
 	// any worker thread; mutual exclusion between nodes sharing buffers is
 	// provided by the dependency edges.
 	Run func()
+	// Bypass, when non-nil, is the cheap stand-in the scheduler runs
+	// instead of Run while the node is quarantined or shed (e.g. gather
+	// the dry mix without the effect). A nil Bypass means the node is
+	// simply skipped — correct for in-place processors, whose input
+	// buffer then passes through untouched.
+	Bypass func()
+	// Flush, when non-nil, silences the node's output buffer after Run
+	// panicked mid-write, so a half-written packet is never audible.
+	Flush func()
 
 	deps  []int
 	succs []int
@@ -133,8 +178,15 @@ type Plan struct {
 	// Names and Sections are per-node metadata (indexed by node ID).
 	Names    []string
 	Sections []Section
+	// Kinds classifies each node for the degradation ladder.
+	Kinds []NodeKind
 	// Run holds each node's work function.
 	Run []func()
+	// Bypass holds each node's quarantine/shed stand-in (nil = skip).
+	Bypass []func()
+	// Flush holds each node's output-silencing hook (nil = nothing to
+	// silence), run after a recovered node panic.
+	Flush []func()
 	// Order is the queue insertion order: ascending depth, ties broken by
 	// node ID ("column by column and from left to right", paper §IV).
 	Order []int32
@@ -219,7 +271,10 @@ func (g *Graph) Compile() (*Plan, error) {
 	p := &Plan{
 		Names:            make([]string, n),
 		Sections:         make([]Section, n),
+		Kinds:            make([]NodeKind, n),
 		Run:              make([]func(), n),
+		Bypass:           make([]func(), n),
+		Flush:            make([]func(), n),
 		Order:            order,
 		Preds:            make([][]int32, n),
 		Succs:            make([][]int32, n),
@@ -232,7 +287,10 @@ func (g *Graph) Compile() (*Plan, error) {
 		i := node.ID
 		p.Names[i] = node.Name
 		p.Sections[i] = node.Section
+		p.Kinds[i] = node.Kind
 		p.Run[i] = node.Run
+		p.Bypass[i] = node.Bypass
+		p.Flush[i] = node.Flush
 		p.Preds[i] = toInt32(node.deps)
 		p.Succs[i] = toInt32(node.succs)
 		if depth[i] > maxDepth {

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -99,6 +100,33 @@ var (
 	CostMeter   = Cost{BaseUS: 4}
 )
 
+// LoadFactor is a shared, runtime-adjustable multiplier on node cost
+// targets. The engine's deadline governor uses it to shed load under
+// overload (Critical level halves it), and overload experiments inflate
+// it to simulate a machine suddenly too slow for the graph. It is read
+// by every Load on every node execution, so it is a single atomic.
+type LoadFactor struct {
+	bits atomic.Uint64
+}
+
+// NewLoadFactor returns a factor initialized to 1.0.
+func NewLoadFactor() *LoadFactor {
+	lf := &LoadFactor{}
+	lf.Set(1.0)
+	return lf
+}
+
+// Set stores the factor (values < 0 clamp to 0).
+func (lf *LoadFactor) Set(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	lf.bits.Store(math.Float64bits(f))
+}
+
+// Get loads the factor.
+func (lf *LoadFactor) Get() float64 { return math.Float64frombits(lf.bits.Load()) }
+
 // Load converts cost targets to concrete spin work for a node.
 type Load struct {
 	baseUnits int64
@@ -106,6 +134,9 @@ type Load struct {
 	baseNs    int64
 	dataNs    int64
 	chunk     int64 // spin units per top-up probe (~0.5 µs)
+	// factor, when non-nil, scales the target at run time (governor /
+	// overload control); nil means a fixed 1.0.
+	factor *LoadFactor
 }
 
 // NewLoad builds a Load from a cost target, a calibration and a global
@@ -124,12 +155,21 @@ func NewLoad(c Cost, cal Calibration, scale float64) Load {
 	}
 }
 
+// WithFactor attaches a runtime load factor to the load (nil detaches).
+func (l Load) WithFactor(lf *LoadFactor) Load {
+	l.factor = lf
+	return l
+}
+
 // Run spends the load's base work, plus the data work when active, as a
 // fixed amount of spin work on top of whatever the caller already did.
 func (l Load) Run(active bool) {
 	u := l.baseUnits
 	if active {
 		u += l.dataUnits
+	}
+	if l.factor != nil {
+		u = int64(float64(u) * l.factor.Get())
 	}
 	Spin(u)
 }
@@ -143,6 +183,9 @@ func (l Load) RunSince(startNs int64, active bool) {
 	target := l.baseNs
 	if active {
 		target += l.dataNs
+	}
+	if l.factor != nil {
+		target = int64(float64(target) * l.factor.Get())
 	}
 	if target == 0 {
 		return

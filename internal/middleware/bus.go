@@ -60,11 +60,17 @@ type Bus struct {
 	seq  atomic.Uint64
 	// published counts all Publish calls (diagnostics).
 	published atomic.Int64
+	// drained accumulates the drop counts of unsubscribed subscriptions,
+	// per topic, so TopicDrops stays cumulative across subscriber churn.
+	drained map[string]int64
 }
 
 // New returns an empty bus.
 func New() *Bus {
-	return &Bus{subs: make(map[string][]*Subscription)}
+	return &Bus{
+		subs:    make(map[string][]*Subscription),
+		drained: make(map[string]int64),
+	}
 }
 
 // Subscribe registers for a topic with the given queue depth (minimum 1).
@@ -91,6 +97,9 @@ func (b *Bus) remove(s *Subscription) {
 	for i, cur := range list {
 		if cur == s {
 			b.subs[s.topic] = append(list[:i:i], list[i+1:]...)
+			if d := s.dropped.Load(); d > 0 {
+				b.drained[s.topic] += d
+			}
 			break
 		}
 	}
@@ -147,6 +156,36 @@ func deliver(s *Subscription, ev Event) {
 // Published returns the total number of Publish calls.
 func (b *Bus) Published() int64 { return b.published.Load() }
 
+// TopicDrops returns the cumulative dropped-event count per topic:
+// live subscriptions' counters plus those of already-unsubscribed ones.
+// A growing count on a topic means its consumer cannot keep up — the
+// bus sheds for it (by design), but the health report should say so.
+func (b *Bus) TopicDrops() map[string]int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make(map[string]int64, len(b.drained))
+	for topic, d := range b.drained {
+		out[topic] = d
+	}
+	for topic, list := range b.subs {
+		for _, s := range list {
+			if d := s.dropped.Load(); d > 0 {
+				out[topic] += d
+			}
+		}
+	}
+	return out
+}
+
+// TotalDrops returns the cumulative dropped-event count across all topics.
+func (b *Bus) TotalDrops() int64 {
+	var total int64
+	for _, d := range b.TopicDrops() {
+		total += d
+	}
+	return total
+}
+
 // SubscriberCount returns the number of active subscriptions on a topic.
 func (b *Bus) SubscriberCount(topic string) int {
 	b.mu.RLock()
@@ -156,12 +195,15 @@ func (b *Bus) SubscriberCount(topic string) int {
 
 // Standard topics published by the application facade.
 const (
-	TopicDeckPosition = "deck.position" // payload DeckPosition
-	TopicMeterMaster  = "meter.master"  // payload MeterLevels
-	TopicMeterDeck    = "meter.deck"    // payload MeterLevels
-	TopicBeat         = "engine.beat"   // payload Beat
-	TopicDeadlineMiss = "engine.miss"   // payload DeadlineMiss
-	TopicControl      = "hw.control"    // payload hardware.ControlEvent
+	TopicDeckPosition = "deck.position"  // payload DeckPosition
+	TopicMeterMaster  = "meter.master"   // payload MeterLevels
+	TopicMeterDeck    = "meter.deck"     // payload MeterLevels
+	TopicBeat         = "engine.beat"    // payload Beat
+	TopicDeadlineMiss = "engine.miss"    // payload DeadlineMiss
+	TopicControl      = "hw.control"     // payload hardware.ControlEvent
+	TopicHealth       = "engine.health"  // payload HealthReport
+	TopicFault        = "engine.fault"   // payload FaultEvent
+	TopicDegrade      = "engine.degrade" // payload DegradeEvent
 )
 
 // DeckPosition reports a deck's playhead (UI waveform cursor).
@@ -191,4 +233,46 @@ type DeadlineMiss struct {
 	Cycle      int64
 	DurationMS float64
 	DeadlineMS float64
+}
+
+// HealthReport is the periodic engine-health event: governor state, fault
+// counters, watchdog stalls and the bus's own per-topic drop totals.
+type HealthReport struct {
+	Cycle int64
+	// Level is the governor's degradation level ("normal", "degraded1",
+	// "degraded2", "critical").
+	Level      string
+	LoadFactor float64
+	// WindowMissRate is the last governor window's deadline miss rate.
+	WindowMissRate float64
+	// FaultsRecovered counts node panics contained so far.
+	FaultsRecovered int64
+	// Quarantined lists nodes currently held in quarantine.
+	Quarantined []string
+	// Stalls counts watchdog detections so far.
+	Stalls int64
+	// BusDrops is the bus-wide cumulative dropped-event count, and
+	// DropsByTopic its per-topic breakdown (only topics with drops).
+	BusDrops     int64
+	DropsByTopic map[string]int64
+}
+
+// FaultEvent reports one contained node panic.
+type FaultEvent struct {
+	// Cycle is the scheduler cycle in which the node faulted.
+	Cycle uint64
+	Node  string
+	// Worker is the worker slot that was running the node.
+	Worker int
+	// Err is the recovered panic value, stringified.
+	Err string
+	// Quarantined reports that this fault tripped the node's quarantine.
+	Quarantined bool
+}
+
+// DegradeEvent reports a governor level transition.
+type DegradeEvent struct {
+	Cycle int64
+	From  string
+	To    string
 }

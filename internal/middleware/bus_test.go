@@ -174,3 +174,38 @@ func TestSeqMonotone(t *testing.T) {
 		last = ev.Seq
 	}
 }
+
+func TestTopicDropsAggregate(t *testing.T) {
+	b := New()
+	s1, _ := b.Subscribe("a", 1)
+	s2, _ := b.Subscribe("a", 1)
+	s3, _ := b.Subscribe("b", 1)
+	for i := 0; i < 5; i++ {
+		b.Publish("a", i)
+		b.Publish("b", i)
+	}
+	// Depth-1 queues: each subscription kept 1 of 5 -> 4 drops apiece.
+	drops := b.TopicDrops()
+	if drops["a"] != 8 || drops["b"] != 4 {
+		t.Fatalf("drops = %v, want a:8 b:4", drops)
+	}
+	if got := b.TotalDrops(); got != 12 {
+		t.Fatalf("TotalDrops = %d, want 12", got)
+	}
+	// Unsubscribing must not lose the counts: they fold into the bus.
+	s1.Unsubscribe()
+	s2.Unsubscribe()
+	s3.Unsubscribe()
+	drops = b.TopicDrops()
+	if drops["a"] != 8 || drops["b"] != 4 {
+		t.Fatalf("drops after unsubscribe = %v, want a:8 b:4", drops)
+	}
+	// New drops on a reused topic keep accumulating.
+	s4, _ := b.Subscribe("a", 1)
+	b.Publish("a", 99)
+	b.Publish("a", 100)
+	if drops = b.TopicDrops(); drops["a"] != 9 {
+		t.Fatalf("drops after new subscriber = %v, want a:9", drops)
+	}
+	s4.Unsubscribe()
+}

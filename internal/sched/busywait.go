@@ -67,7 +67,7 @@ func (pol *listSpinPolicy) runCycle(c *core, w int32, gen uint64) {
 			d := d
 			spinWait(func() bool { return c.done[d].Load() == gen })
 		}
-		runNode(c.plan, tr, id, w)
+		c.exec(c.plan, tr, id, w, gen)
 		c.done[id].Store(gen)
 	}
 }

@@ -1,7 +1,10 @@
 package sched
 
 import (
+	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"djstar/internal/graph"
@@ -180,6 +183,238 @@ func TestLifecycleFactoryStaticRegistered(t *testing.T) {
 	for _, name := range AllStrategies {
 		if !strings.Contains(err.Error(), name) {
 			t.Fatalf("error %q does not mention strategy %q", err, name)
+		}
+	}
+}
+
+// --- fault-tolerance conformance -------------------------------------
+
+// faultDAG builds a fixed DAG whose victim node panics while the armed
+// counter is positive (one decrement per execution, so arming with K
+// injects exactly K consecutive faults). The victim sits mid-graph with
+// predecessors (1, 2) and successors (8, 9 — and 11 transitively), so a
+// contained panic must still release downstream nodes or the cycle
+// never completes.
+func faultDAG(t *testing.T) (*graph.Plan, *graph.ExecTrace, *atomic.Int32) {
+	t.Helper()
+	const n = 12
+	g := graph.New()
+	tr := graph.NewExecTrace(n)
+	armed := &atomic.Int32{}
+	for i := 0; i < n; i++ {
+		i := i
+		run := func() { tr.Record(i) }
+		if i == faultVictim {
+			run = func() {
+				if armed.Load() > 0 {
+					armed.Add(-1)
+					panic("injected: victim down")
+				}
+				tr.Record(i)
+			}
+		}
+		g.AddNode(fmt.Sprintf("n%d", i), graph.DeckSection(i), run)
+	}
+	for _, e := range [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4},
+		{1, 5}, {2, 5}, {5, 8}, {5, 9},
+		{3, 6}, {4, 7}, {6, 10}, {7, 10},
+		{8, 11}, {9, 11},
+	} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, tr, armed
+}
+
+const faultVictim = 5
+
+// checkTolerant verifies a cycle in which the victim was allowed to
+// fault or be skipped: every other node ran exactly once, dependency
+// order holds among the nodes that did run.
+func checkTolerant(p *graph.Plan, tr *graph.ExecTrace) error {
+	for i := 0; i < p.Len(); i++ {
+		if i == faultVictim {
+			continue
+		}
+		if tr.Stamp(i) == 0 {
+			return fmt.Errorf("node %d (%s) never executed", i, p.Names[i])
+		}
+	}
+	for i := 0; i < p.Len(); i++ {
+		if tr.Stamp(i) == 0 {
+			continue
+		}
+		for _, d := range p.Preds[i] {
+			if s := tr.Stamp(int(d)); s != 0 && s > tr.Stamp(i) {
+				return fmt.Errorf("node %d ran before dependency %d", i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// TestFaultToleranceConformance: every strategy must contain an injected
+// mid-cycle node panic — the cycle completes with all other nodes run
+// exactly once, the node is quarantined after QuarantineAfter
+// consecutive faults, a probe restores it, and subsequent cycles are
+// fully clean.
+func TestFaultToleranceConformance(t *testing.T) {
+	const quarantineAfter, probeEvery = 3, 8
+	for _, c := range conformanceCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p, tr, armed := faultDAG(t)
+			s, cleanup := c.build(t, p)
+			defer cleanup()
+			defer s.Close()
+			s.SetFaultPolicy(FaultPolicy{QuarantineAfter: quarantineAfter, ProbeEvery: probeEvery})
+			var mu sync.Mutex
+			var recs []FaultRecord
+			s.SetFaultHandler(func(r FaultRecord) {
+				mu.Lock()
+				recs = append(recs, r)
+				mu.Unlock()
+			})
+
+			cycle := func(tolerant bool) {
+				t.Helper()
+				tr.Reset()
+				s.Execute()
+				var err error
+				if tolerant {
+					err = checkTolerant(p, tr)
+				} else {
+					err = tr.Check(p)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			cycle(false) // clean warm-up
+			cycle(false)
+
+			armed.Store(quarantineAfter)
+			for i := 0; i < quarantineAfter; i++ {
+				cycle(true) // faulting: victim dies, cycle still completes
+			}
+			if got := s.Faults().Recovered; got != quarantineAfter {
+				t.Fatalf("recovered = %d, want %d", got, quarantineAfter)
+			}
+			if !s.Quarantined(faultVictim) {
+				t.Fatal("victim not quarantined after consecutive faults")
+			}
+			mu.Lock()
+			if len(recs) != quarantineAfter {
+				t.Fatalf("handler saw %d records, want %d", len(recs), quarantineAfter)
+			}
+			for _, r := range recs {
+				if r.Node != faultVictim || r.Name != p.Names[faultVictim] || r.Err == nil {
+					t.Fatalf("bad fault record %+v", r)
+				}
+			}
+			if !recs[len(recs)-1].Quarantined {
+				t.Fatal("last fault record did not report the quarantine trip")
+			}
+			mu.Unlock()
+
+			// Quarantined cycles skip the victim; everything else runs.
+			// After ProbeEvery cycles a probe re-runs it (now healthy),
+			// lifting the quarantine.
+			for i := 0; i < probeEvery+1; i++ {
+				cycle(true)
+			}
+			if s.Quarantined(faultVictim) {
+				t.Fatal("probe did not lift the quarantine")
+			}
+			if fs := s.Faults(); fs.Restored != 1 || fs.Probes < 1 {
+				t.Fatalf("fault stats after probe = %+v", fs)
+			}
+
+			cycle(false) // fully clean again
+			cycle(false)
+			if got := s.Faults().Recovered; got != quarantineAfter {
+				t.Fatalf("recovered grew to %d after restoration", got)
+			}
+		})
+	}
+}
+
+// TestPoolFaultIsolationAcrossSessions: three sessions share one pool;
+// one session's node panics repeatedly. Its siblings must never observe
+// a fault, and every session's every cycle must complete correctly.
+func TestPoolFaultIsolationAcrossSessions(t *testing.T) {
+	const sessions, cycles = 3, 60
+	pool, err := NewPool(2, sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	type sess struct {
+		s     *PoolSession
+		plan  *graph.Plan
+		tr    *graph.ExecTrace
+		armed *atomic.Int32
+	}
+	var ss []sess
+	for i := 0; i < sessions; i++ {
+		p, tr, armed := faultDAG(t)
+		s, err := pool.Attach(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.SetFaultPolicy(FaultPolicy{QuarantineAfter: 3, ProbeEvery: 8})
+		ss = append(ss, sess{s, p, tr, armed})
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for i := range ss {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x := ss[i]
+			for c := 0; c < cycles; c++ {
+				if i == 0 && c == 10 {
+					x.armed.Store(3) // session 0 faults mid-run
+				}
+				x.tr.Reset()
+				x.s.Execute()
+				if err := checkTolerant(x.plan, x.tr); err != nil {
+					errs[i] = fmt.Errorf("session %d cycle %d: %w", i, c, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := ss[0].s.Faults().Recovered; got != 3 {
+		t.Fatalf("faulting session recovered = %d, want 3", got)
+	}
+	if ss[0].s.Quarantined(faultVictim) {
+		t.Fatal("faulting session's victim still quarantined (probe never ran)")
+	}
+	for i := 1; i < sessions; i++ {
+		if fs := ss[i].s.Faults(); fs.Recovered != 0 || fs.Quarantined != 0 {
+			t.Fatalf("innocent session %d has fault stats %+v", i, fs)
+		}
+		if ss[i].s.Quarantined(faultVictim) {
+			t.Fatalf("innocent session %d quarantined its victim", i)
 		}
 	}
 }

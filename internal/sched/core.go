@@ -48,6 +48,10 @@ const (
 // the per-node done/pending state, and the tracer hook. All of it is
 // allocation-free in steady state, per the package contract.
 type core struct {
+	// faultState provides panic recovery, quarantine and load shedding
+	// for every node execution (promoted Scheduler methods).
+	*faultState
+
 	plan    *graph.Plan
 	threads int
 	tracer  *Tracer
@@ -78,12 +82,13 @@ type core struct {
 // must have validated the plan/thread combination already.
 func newCore(p *graph.Plan, threads int, pol policy, mode waitMode) *core {
 	c := &core{
-		plan:    p,
-		threads: threads,
-		pol:     pol,
-		mode:    mode,
-		done:    make([]atomic.Uint64, p.Len()),
-		pending: make([]atomic.Int32, p.Len()),
+		faultState: newFaultState(p, threads),
+		plan:       p,
+		threads:    threads,
+		pol:        pol,
+		mode:       mode,
+		done:       make([]atomic.Uint64, p.Len()),
+		pending:    make([]atomic.Int32, p.Len()),
 	}
 	if mode == waitBlock {
 		c.start = make([]chan struct{}, threads)

@@ -1,0 +1,309 @@
+package sched
+
+import (
+	"sync/atomic"
+
+	"djstar/internal/graph"
+)
+
+// Fault tolerance.
+//
+// A DSP node that panics must not take the audio process down, and must
+// not wedge the cycle: its successors still depend on its done stamp /
+// pending counter, so the recovery path has to retire the node normally.
+// Every scheduler in this package therefore routes node execution through
+// a shared faultState: the node runs under recover; on panic its Flush
+// hook silences the half-written output buffer, the fault is reported,
+// and the node is retired so the cycle completes. After QuarantineAfter
+// consecutive faults the node is quarantined — subsequent cycles run its
+// Bypass stand-in (or skip it) instead of the faulty kernel — and every
+// ProbeEvery cycles one guarded probe of the real kernel decides whether
+// to lift the quarantine.
+//
+// The no-fault hot path costs one atomic state load, one inflight store
+// and an open-coded defer per node; it allocates nothing, preserving the
+// package's zero-allocation steady-state contract.
+
+// FaultPolicy configures the quarantine behaviour of a scheduler.
+// The zero value selects the defaults.
+type FaultPolicy struct {
+	// QuarantineAfter is the number of consecutive faults after which a
+	// node is quarantined (default 3).
+	QuarantineAfter int
+	// ProbeEvery is the cycle interval between guarded probes of a
+	// quarantined node's real kernel (default 512).
+	ProbeEvery uint64
+}
+
+// Default fault policy values.
+const (
+	DefaultQuarantineAfter = 3
+	DefaultProbeEvery      = 512
+)
+
+func (p FaultPolicy) withDefaults() FaultPolicy {
+	if p.QuarantineAfter <= 0 {
+		p.QuarantineAfter = DefaultQuarantineAfter
+	}
+	if p.ProbeEvery == 0 {
+		p.ProbeEvery = DefaultProbeEvery
+	}
+	return p
+}
+
+// FaultRecord describes one recovered node fault.
+type FaultRecord struct {
+	// Node and Name identify the faulted node.
+	Node int32
+	Name string
+	// Worker is the worker that was running the node.
+	Worker int32
+	// Cycle is the scheduler's cycle generation at fault time.
+	Cycle uint64
+	// Err is the recovered panic value.
+	Err any
+	// Quarantined reports whether this fault tripped the quarantine
+	// threshold.
+	Quarantined bool
+}
+
+// FaultStats are a scheduler's cumulative fault-tolerance counters.
+type FaultStats struct {
+	// Recovered counts node panics contained by the scheduler.
+	Recovered int64
+	// Quarantined counts quarantine transitions.
+	Quarantined int64
+	// Probes counts guarded probe attempts on quarantined nodes.
+	Probes int64
+	// Restored counts successful probes (quarantines lifted).
+	Restored int64
+}
+
+// Node state bits in faultState.state.
+const (
+	stateQuarantined uint32 = 1 << iota
+	stateShed
+)
+
+// faultState is the per-scheduler fault-tolerance state. It is embedded
+// by every Scheduler implementation, promoting the fault-management
+// methods of the Scheduler interface.
+type faultState struct {
+	fplan  *graph.Plan
+	policy FaultPolicy
+	// handler is invoked synchronously from the recovering worker; like
+	// the tracer, it must be installed before the first Execute or
+	// between cycles, and must be safe to call from any worker thread.
+	handler func(FaultRecord)
+
+	// state[i] holds the quarantine/shed bits of node i.
+	state []atomic.Uint32
+	// consec[i] counts node i's consecutive faults (reset on success).
+	consec []atomic.Int32
+	// probeAt[i] is the cycle generation at which a quarantined node i is
+	// next probed.
+	probeAt []atomic.Uint64
+	// running[w] holds 1 + the node worker w is currently executing
+	// (0 = idle); the engine's stall watchdog reads it to name the stuck
+	// node.
+	running []atomic.Int32
+
+	recovered   atomic.Int64
+	quarantines atomic.Int64
+	probes      atomic.Int64
+	restored    atomic.Int64
+}
+
+// newFaultState sizes the fault-tolerance state for a plan and worker
+// count.
+func newFaultState(p *graph.Plan, workers int) *faultState {
+	return &faultState{
+		fplan:   p,
+		policy:  FaultPolicy{}.withDefaults(),
+		state:   make([]atomic.Uint32, p.Len()),
+		consec:  make([]atomic.Int32, p.Len()),
+		probeAt: make([]atomic.Uint64, p.Len()),
+		running: make([]atomic.Int32, workers),
+	}
+}
+
+// SetFaultPolicy implements Scheduler. Zero fields select defaults; like
+// SetTracer, call it before the first Execute or between cycles.
+func (f *faultState) SetFaultPolicy(p FaultPolicy) { f.policy = p.withDefaults() }
+
+// SetFaultHandler implements Scheduler: h is invoked synchronously from
+// the worker that recovered a fault, so it must be cheap and safe for
+// concurrent use. Install it before the first Execute or between cycles.
+func (f *faultState) SetFaultHandler(h func(FaultRecord)) { f.handler = h }
+
+// Faults implements Scheduler.
+func (f *faultState) Faults() FaultStats {
+	return FaultStats{
+		Recovered:   f.recovered.Load(),
+		Quarantined: f.quarantines.Load(),
+		Probes:      f.probes.Load(),
+		Restored:    f.restored.Load(),
+	}
+}
+
+// SetNodeShed implements Scheduler: a shed node runs its Bypass stand-in
+// (or is skipped) instead of its kernel until un-shed. The engine's
+// deadline governor drives this; it takes effect on the next cycle.
+func (f *faultState) SetNodeShed(id int32, shed bool) {
+	for {
+		old := f.state[id].Load()
+		var next uint32
+		if shed {
+			next = old | stateShed
+		} else {
+			next = old &^ stateShed
+		}
+		if old == next || f.state[id].CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Quarantined implements Scheduler.
+func (f *faultState) Quarantined(id int32) bool {
+	return f.state[id].Load()&stateQuarantined != 0
+}
+
+// Inflight implements Scheduler: 1 + the node worker w is currently
+// executing, or 0 when idle.
+func (f *faultState) Inflight(w int32) int32 {
+	if int(w) >= len(f.running) {
+		return 0
+	}
+	return f.running[w].Load()
+}
+
+// exec runs node id on worker w for cycle gen with full fault handling.
+// It always returns normally — on a node panic the fault is recorded and
+// contained — so callers retire the node and release its successors
+// exactly as on success.
+func (f *faultState) exec(p *graph.Plan, tr *Tracer, id, w int32, gen uint64) {
+	st := f.state[id].Load()
+	if st == 0 {
+		f.running[w].Store(id + 1)
+		if err, ok := f.guard(p, tr, id, w); ok {
+			if f.consec[id].Load() != 0 {
+				f.consec[id].Store(0)
+			}
+		} else {
+			f.noteFault(p, id, w, gen, err)
+		}
+		f.running[w].Store(0)
+		return
+	}
+	// Quarantined and due for a probe: one guarded attempt at the real
+	// kernel decides whether the quarantine lifts.
+	if st&stateQuarantined != 0 && st&stateShed == 0 && gen >= f.probeAt[id].Load() {
+		f.probes.Add(1)
+		f.running[w].Store(id + 1)
+		if err, ok := f.guard(p, tr, id, w); ok {
+			f.clearQuarantine(id)
+			f.consec[id].Store(0)
+			f.restored.Add(1)
+		} else {
+			f.probeAt[id].Store(gen + f.policy.ProbeEvery)
+			f.noteFault(p, id, w, gen, err)
+		}
+		f.running[w].Store(0)
+		return
+	}
+	// Quarantined or shed: run the stand-in. A nil Bypass means skip —
+	// correct for in-place processors, whose input passes through. The
+	// zero-length trace event keeps partial-trace checks honest about the
+	// node having been scheduled.
+	f.alternate(p, tr, id, w)
+}
+
+// guard runs node id under recover, reporting success or the panic value.
+func (f *faultState) guard(p *graph.Plan, tr *Tracer, id, w int32) (err any, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = r
+			ok = false
+		}
+	}()
+	runNode(p, tr, id, w)
+	return nil, true
+}
+
+// alternate runs the node's bypass stand-in (guarded too — a broken
+// bypass must not crash either) and records a trace event for it.
+func (f *faultState) alternate(p *graph.Plan, tr *Tracer, id, w int32) {
+	b := p.Bypass[id]
+	if tr == nil {
+		if b != nil {
+			f.safely(b)
+		}
+		return
+	}
+	start := nowNanos()
+	if b != nil {
+		f.safely(b)
+	}
+	tr.Record(id, w, start, nowNanos())
+}
+
+// safely invokes fn, swallowing a panic.
+func (f *faultState) safely(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
+}
+
+// noteFault records a contained fault: flush the node's half-written
+// output, count towards quarantine, and report to the handler.
+func (f *faultState) noteFault(p *graph.Plan, id, w int32, gen uint64, err any) {
+	f.recovered.Add(1)
+	if fl := p.Flush[id]; fl != nil {
+		f.safely(fl)
+	}
+	quarantined := false
+	if n := f.consec[id].Add(1); int(n) >= f.policy.QuarantineAfter {
+		if f.setQuarantine(id) {
+			f.quarantines.Add(1)
+			f.probeAt[id].Store(gen + f.policy.ProbeEvery)
+			quarantined = true
+		}
+	}
+	if h := f.handler; h != nil {
+		h(FaultRecord{
+			Node:        id,
+			Name:        p.Names[id],
+			Worker:      w,
+			Cycle:       gen,
+			Err:         err,
+			Quarantined: quarantined,
+		})
+	}
+}
+
+// setQuarantine sets the quarantine bit, reporting whether this call
+// performed the transition.
+func (f *faultState) setQuarantine(id int32) bool {
+	for {
+		old := f.state[id].Load()
+		if old&stateQuarantined != 0 {
+			return false
+		}
+		if f.state[id].CompareAndSwap(old, old|stateQuarantined) {
+			return true
+		}
+	}
+}
+
+// clearQuarantine clears the quarantine bit (shed state is preserved).
+func (f *faultState) clearQuarantine(id int32) {
+	for {
+		old := f.state[id].Load()
+		if old&stateQuarantined == 0 {
+			return
+		}
+		if f.state[id].CompareAndSwap(old, old&^stateQuarantined) {
+			return
+		}
+	}
+}

@@ -14,9 +14,9 @@ const NamePool = "pool"
 
 // Slot states of a pool session slot.
 const (
-	slotEmpty uint32 = iota
-	slotIdle         // session attached, no cycle in flight
-	slotRunning      // session attached, cycle in flight
+	slotEmpty   uint32 = iota
+	slotIdle           // session attached, no cycle in flight
+	slotRunning        // session attached, cycle in flight
 )
 
 // Pool is a shared execution runtime: one set of persistent,
@@ -106,11 +106,12 @@ func (p *Pool) Attach(plan *graph.Plan) (*PoolSession, error) {
 			continue
 		}
 		s := &PoolSession{
-			pool:    p,
-			slot:    int32(i),
-			plan:    plan,
-			pending: make([]atomic.Int32, plan.Len()),
-			claimed: make([]atomic.Uint64, plan.Len()),
+			faultState: newFaultState(plan, p.workers+1),
+			pool:       p,
+			slot:       int32(i),
+			plan:       plan,
+			pending:    make([]atomic.Int32, plan.Len()),
+			claimed:    make([]atomic.Uint64, plan.Len()),
 		}
 		p.slots[i].sess.Store(s)
 		p.slots[i].state.Store(slotIdle)
@@ -234,6 +235,11 @@ func (p *Pool) wakeIfIdle() {
 // serialized by the caller, like every Scheduler), but distinct sessions
 // of one pool may Execute concurrently.
 type PoolSession struct {
+	// faultState provides panic recovery, quarantine and load shedding
+	// (promoted Scheduler methods), per session — a faulty node in one
+	// session never affects its siblings on the same pool.
+	*faultState
+
 	pool   *Pool
 	slot   int32
 	plan   *graph.Plan
@@ -299,7 +305,7 @@ func (s *PoolSession) Execute() {
 			runtime.Gosched()
 			continue
 		}
-		s.runClaimed(id, callerID)
+		s.runClaimed(id, callerID, gen)
 	}
 	slot.state.Store(slotIdle)
 }
@@ -312,7 +318,7 @@ func (s *PoolSession) help(w int32) bool {
 	if !ok {
 		return false
 	}
-	s.runClaimed(id, w)
+	s.runClaimed(id, w, gen)
 	return true
 }
 
@@ -342,8 +348,8 @@ func (s *PoolSession) claim(gen uint64) (int32, bool) {
 // retires it from the cycle. The remaining decrement comes last so the
 // Execute caller cannot observe completion before the node's effects
 // (and successor releases) are published.
-func (s *PoolSession) runClaimed(id, w int32) {
-	runNode(s.plan, s.tracer, id, w)
+func (s *PoolSession) runClaimed(id, w int32, gen uint64) {
+	s.exec(s.plan, s.tracer, id, w, gen)
 	readied := false
 	for _, succ := range s.plan.Succs[id] {
 		if s.pending[succ].Add(-1) == 0 {

@@ -45,6 +45,31 @@ type Scheduler interface {
 	// Close shuts down the worker pool. Close is idempotent; the
 	// scheduler must not be used afterwards (Execute panics).
 	Close()
+
+	// Fault tolerance (see faulttol.go). Every scheduler contains node
+	// panics: the cycle still completes, the faulted node's output is
+	// flushed to silence, and after FaultPolicy.QuarantineAfter
+	// consecutive faults the node is quarantined onto its bypass
+	// stand-in, probed every FaultPolicy.ProbeEvery cycles.
+
+	// SetFaultPolicy configures quarantine thresholds (zero fields =
+	// defaults); call before the first Execute or between cycles.
+	SetFaultPolicy(p FaultPolicy)
+	// SetFaultHandler installs a callback invoked synchronously from the
+	// worker that recovered a node fault. It must be cheap and safe for
+	// concurrent use; install before the first Execute or between cycles.
+	SetFaultHandler(h func(FaultRecord))
+	// Faults returns the cumulative fault-tolerance counters.
+	Faults() FaultStats
+	// SetNodeShed marks (or unmarks) a node to run its bypass stand-in
+	// instead of its kernel — the engine's deadline governor's degraded
+	// modes. Takes effect on the next cycle.
+	SetNodeShed(id int32, shed bool)
+	// Quarantined reports whether a node is currently quarantined.
+	Quarantined(id int32) bool
+	// Inflight returns 1 + the node worker w is currently executing, or
+	// 0 when the worker is idle (the stall watchdog's view).
+	Inflight(w int32) int32
 }
 
 // Strategy names accepted by New.

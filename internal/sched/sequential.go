@@ -10,14 +10,19 @@ import "djstar/internal/graph"
 // contract as the pooled strategies: Close is idempotent and Execute
 // panics after Close.
 type Sequential struct {
+	// faultState provides panic recovery and quarantine (promoted
+	// Scheduler methods), same as the pooled strategies.
+	*faultState
+
 	plan   *graph.Plan
 	tracer *Tracer
+	gen    uint64
 	closed bool
 }
 
 // NewSequential returns the sequential baseline executor.
 func NewSequential(p *graph.Plan) *Sequential {
-	return &Sequential{plan: p}
+	return &Sequential{faultState: newFaultState(p, 1), plan: p}
 }
 
 // Name implements Scheduler.
@@ -37,8 +42,9 @@ func (s *Sequential) Execute() {
 	if s.tracer != nil {
 		s.tracer.BeginCycle()
 	}
+	s.gen++
 	for _, id := range s.plan.Order {
-		runNode(s.plan, s.tracer, id, 0)
+		s.exec(s.plan, s.tracer, id, 0, s.gen)
 	}
 }
 

@@ -66,7 +66,7 @@ func (pol *sleepPolicy) name() string { return NameSleep }
 func (pol *sleepPolicy) beginCycle(c *core) { c.resetPending() }
 
 // runCycle executes worker w's nodes, sleeping on open dependencies.
-func (pol *sleepPolicy) runCycle(c *core, w int32, _ uint64) {
+func (pol *sleepPolicy) runCycle(c *core, w int32, gen uint64) {
 	tr := c.tracer
 	for _, id := range pol.lists[w] {
 		// Register-then-recheck avoids the lost-wakeup race: either the
@@ -80,7 +80,7 @@ func (pol *sleepPolicy) runCycle(c *core, w int32, _ uint64) {
 				<-pol.wake[w]
 			}
 		}
-		runNode(c.plan, tr, id, w)
+		c.exec(c.plan, tr, id, w, gen)
 		// Notify successors; wake the executor of any that became ready.
 		for _, succ := range c.plan.Succs[id] {
 			if c.pending[succ].Add(-1) == 0 {

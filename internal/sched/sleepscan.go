@@ -48,7 +48,7 @@ func (pol *sleepScanPolicy) name() string { return NameSleepScan }
 
 // runCycle executes worker w's list, preferring the earliest queued node
 // but running any later ready node rather than sleeping.
-func (pol *sleepScanPolicy) runCycle(c *core, w int32, _ uint64) {
+func (pol *sleepScanPolicy) runCycle(c *core, w int32, gen uint64) {
 	list := pol.lists[w]
 	ran := pol.ran[w]
 	for i := range ran {
@@ -66,7 +66,7 @@ func (pol *sleepScanPolicy) runCycle(c *core, w int32, _ uint64) {
 				first = i
 			}
 			if c.pending[id].Load() == 0 {
-				pol.execute(c, id, w)
+				pol.execute(c, id, w, gen)
 				ran[i] = true
 				remaining--
 				progressed = true
@@ -91,8 +91,8 @@ func (pol *sleepScanPolicy) runCycle(c *core, w int32, _ uint64) {
 }
 
 // execute runs a node and resolves successors, waking sleepers.
-func (pol *sleepScanPolicy) execute(c *core, id, w int32) {
-	runNode(c.plan, c.tracer, id, w)
+func (pol *sleepScanPolicy) execute(c *core, id, w int32, gen uint64) {
+	c.exec(c.plan, c.tracer, id, w, gen)
 	for _, succ := range c.plan.Succs[id] {
 		if c.pending[succ].Add(-1) == 0 {
 			if e := pol.executor[succ].Load(); e != 0 {

@@ -138,7 +138,7 @@ func (pol *wsPolicy) beginCycle(c *core) {
 }
 
 // runCycle is one worker's participation in a graph iteration.
-func (pol *wsPolicy) runCycle(c *core, w int32, _ uint64) {
+func (pol *wsPolicy) runCycle(c *core, w int32, gen uint64) {
 	// Seed the local deque with this worker's sources. Each worker seeds
 	// its own deque, keeping deque pushes owner-only.
 	for _, id := range pol.initial[w] {
@@ -161,13 +161,13 @@ func (pol *wsPolicy) runCycle(c *core, w int32, _ uint64) {
 			continue
 		}
 		failedRounds = 0
-		pol.execute(c, id, w)
+		pol.execute(c, id, w, gen)
 	}
 }
 
 // execute runs node id and resolves its successors.
-func (pol *wsPolicy) execute(c *core, id, w int32) {
-	runNode(c.plan, c.tracer, id, w)
+func (pol *wsPolicy) execute(c *core, id, w int32, gen uint64) {
+	c.exec(c.plan, c.tracer, id, w, gen)
 	pushed := false
 	for _, succ := range c.plan.Succs[id] {
 		if c.pending[succ].Add(-1) == 0 {

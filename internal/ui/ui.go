@@ -32,6 +32,13 @@ type Model struct {
 	misses int
 	ctrl   string // last control move, for the status line
 	events int64
+
+	// Health panel state.
+	health    middleware.HealthReport
+	hasHealth bool
+	faults    int    // fault events seen
+	lastFault string // most recent faulted node
+	degrade   string // most recent governor transition "from→to"
 }
 
 // NewModel returns a view model for the given deck count.
@@ -63,6 +70,14 @@ func (m *Model) Apply(ev middleware.Event) {
 		}
 	case middleware.DeadlineMiss:
 		m.misses++
+	case middleware.HealthReport:
+		m.health = p
+		m.hasHealth = true
+	case middleware.FaultEvent:
+		m.faults++
+		m.lastFault = p.Node
+	case middleware.DegradeEvent:
+		m.degrade = p.From + "→" + p.To
 	default:
 		if ev.Topic == middleware.TopicControl {
 			m.ctrl = fmt.Sprint(ev.Payload)
@@ -122,7 +137,44 @@ func (m *Model) Render(width int) string {
 	if m.misses > 0 {
 		fmt.Fprintf(&b, "DEADLINE MISSES: %d\n", m.misses)
 	}
+	if h := m.healthLine(); h != "" {
+		fmt.Fprintf(&b, "health %s\n", h)
+	}
 	return b.String()
+}
+
+// healthLine summarizes the health panel: governor level, contained
+// faults, quarantined nodes, stalls and bus drops. Empty when no health
+// event has arrived and nothing faulted (quiet engines get no panel).
+func (m *Model) healthLine() string {
+	if !m.hasHealth && m.faults == 0 {
+		return ""
+	}
+	var parts []string
+	if m.hasHealth {
+		parts = append(parts, m.health.Level)
+		if m.health.LoadFactor != 1.0 && m.health.LoadFactor != 0 {
+			parts = append(parts, fmt.Sprintf("load %.2fx", m.health.LoadFactor))
+		}
+	}
+	if m.degrade != "" {
+		parts = append(parts, m.degrade)
+	}
+	if m.faults > 0 {
+		parts = append(parts, fmt.Sprintf("faults %d (last %s)", m.faults, m.lastFault))
+	}
+	if m.hasHealth {
+		if len(m.health.Quarantined) > 0 {
+			parts = append(parts, "quarantined "+strings.Join(m.health.Quarantined, ","))
+		}
+		if m.health.Stalls > 0 {
+			parts = append(parts, fmt.Sprintf("stalls %d", m.health.Stalls))
+		}
+		if m.health.BusDrops > 0 {
+			parts = append(parts, fmt.Sprintf("bus drops %d", m.health.BusDrops))
+		}
+	}
+	return strings.Join(parts, " | ")
 }
 
 // meterBar draws a level meter: '=' up to the RMS, '-' up to the peak.

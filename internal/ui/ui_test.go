@@ -111,3 +111,32 @@ func TestWaveformCursor(t *testing.T) {
 	// Degenerate overview.
 	WaveformCursor(library.Overview{}, 0.5, 2)
 }
+
+func TestHealthPanel(t *testing.T) {
+	m := NewModel(2)
+	if strings.Contains(m.Render(24), "health") {
+		t.Fatal("quiet model should render no health panel")
+	}
+	m.Apply(middleware.Event{Topic: middleware.TopicFault, Payload: middleware.FaultEvent{
+		Node: "FXA2", Err: "boom", Quarantined: true,
+	}})
+	m.Apply(middleware.Event{Topic: middleware.TopicDegrade, Payload: middleware.DegradeEvent{
+		From: "normal", To: "degraded1",
+	}})
+	m.Apply(middleware.Event{Topic: middleware.TopicHealth, Payload: middleware.HealthReport{
+		Level:       "degraded1",
+		LoadFactor:  0.5,
+		Quarantined: []string{"FXA2"},
+		Stalls:      2,
+		BusDrops:    7,
+	}})
+	out := m.Render(24)
+	for _, want := range []string{
+		"health", "degraded1", "normal→degraded1", "faults 1 (last FXA2)",
+		"quarantined FXA2", "stalls 2", "bus drops 7", "load 0.50x",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
