@@ -16,6 +16,7 @@ import (
 	"djstar/internal/engine"
 	"djstar/internal/exp"
 	"djstar/internal/graph"
+	"djstar/internal/obs"
 	"djstar/internal/rescon"
 	"djstar/internal/sched"
 	"djstar/internal/stats"
@@ -126,7 +127,7 @@ func BenchmarkFig8(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			s, err := sched.New(strategy, plan, threads)
+			s, err := sched.New(strategy, plan, sched.Options{Threads: threads})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -158,23 +159,65 @@ func BenchmarkFig9Fig10(b *testing.B) {
 }
 
 // BenchmarkFig11 measures a fully traced cycle (the schedule-realization
-// capture behind Fig. 11).
+// capture behind Fig. 11): the observability collector samples every
+// cycle into its trace ring.
 func BenchmarkFig11(b *testing.B) {
 	for _, strategy := range []string{sched.NameBusyWait, sched.NameSleep, sched.NameWorkSteal} {
 		b.Run(strategy, func(b *testing.B) {
-			e := newBenchEngine(b, strategy, 4)
-			tr := sched.NewTracer(e.Plan().Len())
-			e.Scheduler().SetTracer(tr)
+			e, err := engine.New(engine.Config{
+				Graph:    benchGraphConfig(),
+				Strategy: strategy,
+				Threads:  4,
+				Obs:      engine.ObsOptions{TraceEvery: 1, TraceRing: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(e.Close)
+			var ct obs.CycleTrace
+			for i := 0; i < 20; i++ {
+				e.Cycle(nil)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e.Cycle(nil)
-				if tr.Makespan() <= 0 {
+				if !e.Collector().LatestTrace(&ct) || ct.MakespanNS() <= 0 {
 					b.Fatal("empty trace")
 				}
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures the same busy-wait APC cycle with the
+// observability collector at the default sampling rate and with it
+// disabled. CI compares the with/without ratio against a checked-in
+// baseline (scripts/check_obs_overhead.sh) — the collector's contract is
+// that always-on observability stays within noise of free.
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, disable bool) {
+		e, err := engine.New(engine.Config{
+			Graph:    benchGraphConfig(),
+			Strategy: sched.NameBusyWait,
+			Threads:  4,
+			Obs:      engine.ObsOptions{Disable: disable},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(e.Close)
+		for i := 0; i < 20; i++ {
+			e.Cycle(nil)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Cycle(nil)
+		}
+	}
+	b.Run("obs=on", func(b *testing.B) { run(b, false) })
+	b.Run("obs=off", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkFig12 measures the BUSY/SLEEP strategy simulations of Fig. 12.
@@ -265,7 +308,7 @@ func BenchmarkAblationWS(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			ws, err := sched.NewWorkStealOpts(plan, 4, opts)
+			ws, err := sched.NewWorkSteal(plan, sched.Options{Threads: 4, WS: opts})
 			if err != nil {
 				b.Fatal(err)
 			}

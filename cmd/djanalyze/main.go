@@ -9,6 +9,12 @@
 //	djanalyze                       # analyze the synthetic deck tracks
 //	djanalyze set.wav other.wav     # analyze 16-bit stereo 44.1 kHz WAVs
 //	djanalyze -bars 32 -waveform    # longer tracks, draw waveforms
+//	djanalyze -graph                # task-graph critical-path analysis
+//
+// With -graph it instead profiles the live task graph: per-node mean
+// durations (measured sequentially), the critical path and RESCON bound
+// they imply, and each parallel strategy's measured makespan against that
+// bound — the offline counterpart of djstar's /api/critpath.
 package main
 
 import (
@@ -19,18 +25,33 @@ import (
 	"strings"
 
 	"djstar/internal/audio"
+	"djstar/internal/engine"
+	"djstar/internal/graph"
 	"djstar/internal/library"
+	"djstar/internal/obs"
+	"djstar/internal/sched"
 	"djstar/internal/stats"
 	"djstar/internal/synth"
 )
 
 func main() {
 	var (
-		bars     = flag.Int("bars", 16, "bars per built-in synthetic track")
-		waveform = flag.Bool("waveform", false, "render waveform overviews")
-		match    = flag.Float64("match", 0, "list tracks within this BPM percentage of the first track")
+		bars      = flag.Int("bars", 16, "bars per built-in synthetic track")
+		waveform  = flag.Bool("waveform", false, "render waveform overviews")
+		match     = flag.Float64("match", 0, "list tracks within this BPM percentage of the first track")
+		graphMode = flag.Bool("graph", false, "analyze the task graph (critical path, bounds, strategy efficiency)")
+		cycles    = flag.Int("cycles", 2000, "measurement cycles for -graph")
+		scale     = flag.Float64("scale", 0.2, "node cost scale for -graph")
+		threads   = flag.Int("threads", 4, "threads for -graph strategy runs")
 	)
 	flag.Parse()
+
+	if *graphMode {
+		if err := analyzeGraph(*cycles, *scale, *threads); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	lib := library.New(audio.SampleRate)
 
@@ -88,6 +109,62 @@ func main() {
 			}
 		}
 	}
+}
+
+// analyzeGraph profiles the DJ Star task graph offline: sequentially
+// measured node means feed the critical-path analyzer, then each parallel
+// strategy runs with the collector and its measured makespan is compared
+// to the RESCON-style bound. The critical path is a true lower bound, so
+// cp ≤ measured must hold for every strategy; the tool exits non-zero if
+// the measurement ever contradicts the theory.
+func analyzeGraph(cycles int, scale float64, threads int) error {
+	cfg := graph.DefaultConfig()
+	cfg.Scale = scale
+	if scale > 0 {
+		cfg.Calibration = graph.Calibrate()
+	}
+	means, plan, err := engine.MeasureNodeDurations(cfg, cycles)
+	if err != nil {
+		return err
+	}
+	ps := obs.CriticalPath(plan, means)
+	fmt.Printf("task graph: %d nodes, total work %.1f µs (sequential means over %d cycles, scale %.2f)\n\n",
+		plan.Len(), ps.TotalWorkUS, cycles, scale)
+	fmt.Printf("critical path (%d nodes, %.1f µs):\n  %s\n\n", len(ps.Nodes), ps.LengthUS, ps.String())
+	fmt.Printf("parallelism (work / critical path): %.2f\n", ps.Parallelism)
+	fmt.Printf("bound at %d threads: %.1f µs\n\n", threads, ps.Bound(threads))
+
+	var rows [][]string
+	for _, name := range []string{sched.NameBusyWait, sched.NameSleep, sched.NameWorkSteal} {
+		e, err := engine.New(engine.Config{Graph: cfg, Strategy: name, Threads: threads})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < min(cycles/10+1, 200); i++ {
+			e.Cycle(nil)
+		}
+		m := e.RunCycles(cycles)
+		run, ok := e.CriticalPath()
+		e.Close()
+		if !ok {
+			return fmt.Errorf("collector disabled during %s run", name)
+		}
+		measuredUS := m.Graph.Mean() * 1e3
+		if run.LengthUS > measuredUS {
+			return fmt.Errorf("%s: critical path %.1f µs exceeds measured makespan %.1f µs — measurement inconsistent",
+				name, run.LengthUS, measuredUS)
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.1f", measuredUS),
+			fmt.Sprintf("%.1f", run.LengthUS),
+			fmt.Sprintf("%.1f", run.Bound(threads)),
+			fmt.Sprintf("%.0f%%", 100*run.Efficiency(measuredUS, threads)),
+		})
+	}
+	fmt.Print(stats.RenderTable(
+		[]string{"strategy", "measured µs", "critpath µs", "bound µs", "efficiency"}, rows))
+	return nil
 }
 
 func fatal(err error) {

@@ -9,13 +9,16 @@
 //
 // Experiments: table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines,
 // profile, threadsweep, ablation, staticvsonline, designspace, nodecosts,
-// multisession, chaos, governor, all.
+// multisession, chaos, governor, critpath, obsoverhead, all.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -27,14 +30,25 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines, profile, threadsweep, ablation, staticvsonline, designspace, nodecosts, multisession, chaos, governor, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines, profile, threadsweep, ablation, staticvsonline, designspace, nodecosts, multisession, chaos, governor, critpath, obsoverhead, all)")
 		cycles     = flag.Int("cycles", 10000, "APC iterations per measurement (paper: 10000)")
 		scale      = flag.Float64("scale", 1.0, "node cost scale (1.0 = paper scale, 0 = pure DSP)")
 		threads    = flag.Int("threads", 4, "maximum thread count (paper: 4)")
 		quick      = flag.Bool("quick", false, "fast smoke settings (300 cycles, scale 0.05)")
 		csvDir     = flag.String("csv", "", "also write table1.csv and fig9_samples.csv to this directory")
+		httpAddr   = flag.String("http", "", "serve net/http/pprof on this address (e.g. :6060) while benchmarking")
 	)
 	flag.Parse()
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "djbench: -http %s: %v\n", *httpAddr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("djbench: pprof at http://%s/debug/pprof/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
 
 	opts := exp.Options{
 		Out:        os.Stdout,
@@ -92,6 +106,8 @@ func main() {
 		{"multisession", wrap(exp.MultiSession)},
 		{"chaos", wrap(exp.Chaos)},
 		{"governor", wrap(exp.Governor)},
+		{"critpath", wrap(exp.CritPath)},
+		{"obsoverhead", wrap(exp.ObsOverhead)},
 	}
 
 	// Interrupts are honored at driver boundaries: the in-flight

@@ -28,6 +28,7 @@ import (
 	"djstar/internal/exp"
 	"djstar/internal/faults"
 	"djstar/internal/graph"
+	"djstar/internal/obs"
 	"djstar/internal/sched"
 	"djstar/internal/settings"
 )
@@ -47,6 +48,8 @@ func main() {
 		record   = flag.String("record", "", "write the record bus to this WAV file")
 		loadSet  = flag.String("settings", "", "load mixer/deck settings from this JSON file")
 		saveSet  = flag.String("save-settings", "", "save the final settings to this JSON file")
+		traceOut = flag.String("trace", "", "write sampled schedule realizations to this file as Chrome trace JSON (load in chrome://tracing or ui.perfetto.dev)")
+		httpAddr = flag.String("http", "", `serve live observability on this address (e.g. ":6060"): /debug/pprof/, /api/snapshot, /api/critpath, /api/trace`)
 	)
 	flag.Parse()
 
@@ -70,18 +73,25 @@ func main() {
 		DVS:            *dvs,
 		CollectSamples: false,
 		Watchdog:       *watchdog,
-		OnFault: func(r sched.FaultRecord) {
-			q := ""
-			if r.Quarantined {
-				q = " — node quarantined"
-			}
-			fmt.Fprintf(os.Stderr, "FAULT contained: %s (cycle %d, worker %d): %v%s\n",
-				r.Name, r.Cycle, r.Worker, r.Err, q)
+		Hooks: engine.Hooks{
+			OnFault: func(r sched.FaultRecord) {
+				q := ""
+				if r.Quarantined {
+					q = " — node quarantined"
+				}
+				fmt.Fprintf(os.Stderr, "FAULT contained: %s (cycle %d, worker %d): %v%s\n",
+					r.Name, r.Cycle, r.Worker, r.Err, q)
+			},
+			OnStall: func(r engine.StallRecord) {
+				fmt.Fprintf(os.Stderr, "STALL: cycle %d wedged %.0f ms in %s [%s]\n",
+					r.Cycle, r.ElapsedMS, r.Name, r.Inflight)
+			},
 		},
-		OnStall: func(r engine.StallRecord) {
-			fmt.Fprintf(os.Stderr, "STALL: cycle %d wedged %.0f ms in %s [%s]\n",
-				r.Cycle, r.ElapsedMS, r.Name, r.Inflight)
-		},
+	}
+	if *traceOut != "" {
+		// Keep a deeper ring so the export holds a representative spread
+		// of sampled cycles, not just the last handful.
+		cfg.Obs.TraceRing = 64
 	}
 
 	// Multi-session mode: N full sessions share one worker pool; the
@@ -112,6 +122,16 @@ func main() {
 			os.Exit(1)
 		}
 		defer e.Close()
+	}
+
+	if *httpAddr != "" {
+		srv, err := engine.StartDebugServer(*httpAddr, e)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "djstar: -http: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("live observability on http://%s (pprof, /api/snapshot, /api/critpath, /api/trace)\n", srv.Addr())
 	}
 
 	if *loadSet != "" {
@@ -268,6 +288,34 @@ func main() {
 		fmt.Printf("background sessions: %d, late packets: %d\n",
 			len(multi.Engines())-1, bgLate.Load())
 	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, e); err != nil {
+			fmt.Fprintf(os.Stderr, "djstar: -trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace exports the collector's sampled schedule realizations as
+// Chrome trace_event JSON.
+func writeTrace(path string, e *engine.Engine) error {
+	col := e.Collector()
+	if col == nil {
+		return fmt.Errorf("observability collector is disabled")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	traces := col.Traces()
+	if err := obs.WriteChromeTrace(f, e.Plan(), traces); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d sampled cycles to %s (open in chrome://tracing)\n",
+		len(traces), path)
+	return nil
 }
 
 // freshMetrics builds an empty metrics container matching the engine.

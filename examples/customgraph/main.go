@@ -81,13 +81,12 @@ func main() {
 		if name == sched.NameSequential {
 			threads = 1
 		}
-		s, err := sched.New(name, plan, threads)
+		tr := sched.NewTracer(plan.Len())
+		s, err := sched.New(name, plan, sched.Options{Threads: threads, Observer: tr})
 		if err != nil {
 			log.Fatal(err)
 		}
 		sum := stats.NewSummary()
-		tr := sched.NewTracer(plan.Len())
-		s.SetTracer(tr)
 		for i := 0; i < cycles; i++ {
 			s.Execute()
 			sum.Add(float64(tr.Makespan()) / 1e3) // µs

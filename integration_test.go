@@ -182,7 +182,7 @@ func TestStaticExecutorEndToEnd(t *testing.T) {
 	}
 
 	ref := run(func(p *graph.Plan) (sched.Scheduler, error) {
-		return sched.NewSequential(p), nil
+		return sched.NewSequential(p, sched.Options{}), nil
 	})
 	got := run(func(p *graph.Plan) (sched.Scheduler, error) {
 		model, err := rescon.FromPlan(p, durs)
@@ -197,7 +197,7 @@ func TestStaticExecutorEndToEnd(t *testing.T) {
 		if err != nil {
 			return nil, err
 		}
-		return sched.NewStatic(p, lists)
+		return sched.NewStatic(p, lists, sched.Options{})
 	})
 	for c := range ref {
 		if got[c] != ref[c] {

@@ -14,6 +14,7 @@ import (
 	"djstar/internal/hardware"
 	"djstar/internal/library"
 	"djstar/internal/middleware"
+	"djstar/internal/obs"
 	"djstar/internal/sched"
 )
 
@@ -55,15 +56,15 @@ type App struct {
 
 // New builds the application.
 func New(cfg Config) (*App, error) {
-	// The bus exists before the engine so the engine's fault and governor
-	// callbacks can publish onto it; user-supplied callbacks still run.
-	// The callbacks capture `a` (assigned below) for the cycle stamp; they
+	// The bus exists before the engine so the engine's fault, governor
+	// and trace hooks can publish onto it; user-supplied hooks still run.
+	// The hooks capture `a` (assigned below) for the cycle stamp; they
 	// can only fire from Cycle, long after New has returned.
 	var a *App
 	bus := middleware.New()
 	ecfg := cfg.Engine
-	userFault := ecfg.OnFault
-	ecfg.OnFault = func(r sched.FaultRecord) {
+	userHooks := ecfg.Hooks
+	ecfg.Hooks.OnFault = func(r sched.FaultRecord) {
 		// Fires on whichever worker ran the node; Publish is thread-safe.
 		bus.Publish(middleware.TopicFault, middleware.FaultEvent{
 			Cycle:       r.Cycle,
@@ -72,12 +73,11 @@ func New(cfg Config) (*App, error) {
 			Err:         fmt.Sprint(r.Err),
 			Quarantined: r.Quarantined,
 		})
-		if userFault != nil {
-			userFault(r)
+		if userHooks.OnFault != nil {
+			userHooks.OnFault(r)
 		}
 	}
-	userGov := ecfg.OnGovChange
-	ecfg.OnGovChange = func(from, to engine.GovLevel) {
+	ecfg.Hooks.OnGovChange = func(from, to engine.GovLevel) {
 		// Fires on the cycle thread, like the a.cycle increment.
 		var cycle int64
 		if a != nil {
@@ -88,8 +88,38 @@ func New(cfg Config) (*App, error) {
 			From:  from.String(),
 			To:    to.String(),
 		})
-		if userGov != nil {
-			userGov(from, to)
+		if userHooks.OnGovChange != nil {
+			userHooks.OnGovChange(from, to)
+		}
+	}
+	ecfg.Hooks.OnTrace = func(t *obs.CycleTrace) {
+		// Fires on the cycle thread every sampled cycle. The engine's
+		// trace buffers are reused, so copy into a fresh ScheduleTrace —
+		// subscribers own the payload.
+		if a == nil {
+			return
+		}
+		st := middleware.ScheduleTrace{
+			Cycle:      t.Cycle,
+			Workers:    t.Workers,
+			MakespanUS: float64(t.MakespanNS()) / 1e3,
+			Nodes:      make([]middleware.TraceNode, 0, len(t.Worker)),
+		}
+		names := a.Engine.Plan().Names
+		for id, w := range t.Worker {
+			if w < 0 {
+				continue
+			}
+			st.Nodes = append(st.Nodes, middleware.TraceNode{
+				Name:    names[id],
+				Worker:  int(w),
+				StartUS: float64(t.StartNS[id]) / 1e3,
+				EndUS:   float64(t.EndNS[id]) / 1e3,
+			})
+		}
+		bus.Publish(middleware.TopicTrace, st)
+		if userHooks.OnTrace != nil {
+			userHooks.OnTrace(t)
 		}
 	}
 	e, err := engine.New(ecfg)
@@ -180,17 +210,20 @@ func (a *App) Cycle(m *engine.Metrics) {
 		})
 	}
 
-	// Throttled health report: governor level, fault counters, watchdog
-	// stalls, and the bus's own drop totals (the middleware reporting on
-	// itself — a slow consumer shows up here, not as audio jitter).
+	// Throttled health report, fed from the engine's unified Snapshot:
+	// governor level, fault counters, watchdog stalls, whole-run cycle
+	// means, the measured critical path, and the bus's own drop totals
+	// (the middleware reporting on itself — a slow consumer shows up
+	// here, not as audio jitter).
 	if a.cycle%int64(a.healthEvery) == 0 {
-		h := a.Engine.Health()
+		snap := a.Engine.Snapshot()
+		h := snap.Health
 		drops := a.Bus.TopicDrops()
 		var total int64
 		for _, d := range drops {
 			total += d
 		}
-		a.Bus.Publish(middleware.TopicHealth, middleware.HealthReport{
+		rep := middleware.HealthReport{
 			Cycle:           a.cycle,
 			Level:           h.Level.String(),
 			LoadFactor:      h.LoadFactor,
@@ -198,9 +231,17 @@ func (a *App) Cycle(m *engine.Metrics) {
 			FaultsRecovered: h.Faults.Recovered,
 			Quarantined:     h.Quarantined,
 			Stalls:          h.Stalls,
+			GraphMeanMS:     snap.GraphMeanMS,
+			APCMeanMS:       snap.APCMeanMS,
+			MissRate:        snap.MissRate,
 			BusDrops:        total,
 			DropsByTopic:    drops,
-		})
+		}
+		if snap.CritPath != nil {
+			rep.CritPathUS = snap.CritPath.LengthUS
+			rep.Parallelism = snap.CritPath.Parallelism
+		}
+		a.Bus.Publish(middleware.TopicHealth, rep)
 	}
 
 	// Deadline misses surface immediately.

@@ -22,6 +22,7 @@ import (
 
 	"djstar/internal/audio"
 	"djstar/internal/graph"
+	"djstar/internal/obs"
 	"djstar/internal/sched"
 	"djstar/internal/stats"
 	"djstar/internal/timecode"
@@ -72,16 +73,10 @@ type Config struct {
 	// defaults: quarantine after 3 consecutive faults, probe every 512
 	// cycles).
 	FaultPolicy sched.FaultPolicy
-	// OnFault, when set, is invoked synchronously from the worker that
-	// recovered a node panic; it must be cheap and concurrency-safe.
-	OnFault func(sched.FaultRecord)
 
 	// Governor configures the deadline governor (graceful degradation
 	// under overload); see GovernorConfig.
 	Governor GovernorConfig
-	// OnGovChange, when set, is notified of governor level transitions
-	// (called on the cycle thread).
-	OnGovChange func(from, to GovLevel)
 
 	// Watchdog enables the stall watchdog: a monitor goroutine that
 	// detects a graph execution stuck past the hard wall and reports the
@@ -90,9 +85,31 @@ type Config struct {
 	// WatchdogWallMS is the stall wall in milliseconds (default
 	// 50 × DeadlineMS ≈ 145 ms).
 	WatchdogWallMS float64
-	// OnStall, when set, is invoked from the watchdog goroutine when a
-	// stall is detected.
-	OnStall func(StallRecord)
+
+	// Hooks is the consolidated event surface (faults, governor
+	// transitions, stalls, per-cycle timings, sampled traces). The zero
+	// value is a no-op. Migrating from the old per-event Config fields:
+	// see LegacyCallbacks.
+	Hooks Hooks
+
+	// Obs tunes the always-on observability collector (per-node stats,
+	// sampled schedule realizations); see ObsOptions.
+	Obs ObsOptions
+}
+
+// ObsOptions tune the engine's observability collector. The zero value
+// keeps it on at the default sampling rate.
+type ObsOptions struct {
+	// Disable turns the collector off entirely — no per-node stats, no
+	// traces, no critical path in Snapshot. Meant for overhead A/B
+	// measurement, not production use.
+	Disable bool
+	// TraceEvery samples every Kth cycle's schedule realization
+	// (default obs.DefaultTraceEvery = 32; negative disables traces
+	// while keeping node stats).
+	TraceEvery int
+	// TraceRing is the number of retained realizations (default 8).
+	TraceRing int
 }
 
 // Engine owns a session, a compiled plan, a scheduler and the timecode
@@ -125,6 +142,17 @@ type Engine struct {
 
 	gov *governor
 	wd  *watchdog
+
+	// col is the observability collector (nil when cfg.Obs.Disable).
+	col *obs.Collector
+	// lastTraceSeq is the collector trace sequence already delivered to
+	// Hooks.OnTrace; traceScratch is the reused copy handed to the hook.
+	lastTraceSeq uint64
+	traceScratch obs.CycleTrace
+
+	// live aggregates the engine's own always-on cycle accounting,
+	// independent of any user-supplied Metrics sink (see Snapshot).
+	live liveStats
 
 	// cycleN counts Cycle calls (the watchdog's cycle coordinate).
 	cycleN uint64
@@ -166,6 +194,23 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Strategy == sched.NameSequential {
 		threads = 1
 	}
+	// The collector is the scheduler's construction-time observer, so it
+	// must exist first; its shard count is the session's parallelism.
+	var collector *obs.Collector
+	var observer sched.Observer
+	if !cfg.Obs.Disable {
+		workers := threads
+		if cfg.Pool != nil {
+			workers = cfg.Pool.Workers() + 1
+		}
+		collector = obs.NewCollector(plan, obs.Config{
+			Workers:    workers,
+			TraceEvery: cfg.Obs.TraceEvery,
+			TraceRing:  cfg.Obs.TraceRing,
+		})
+		observer = collector
+	}
+	opts := sched.Options{Threads: threads, Observer: observer}
 	var (
 		scheduler sched.Scheduler
 		ownedPool *sched.Pool
@@ -174,16 +219,16 @@ func New(cfg Config) (*Engine, error) {
 	switch {
 	case cfg.Pool != nil:
 		// Shared-pool mode: this engine is one session among many.
-		scheduler, err2 = cfg.Pool.Attach(plan)
+		scheduler, err2 = cfg.Pool.Attach(plan, opts)
 	case cfg.Strategy == sched.NamePool:
 		// Private single-session pool: Threads-1 helper workers plus the
 		// cycle caller, matching the parallelism of the other strategies.
 		ownedPool, err2 = sched.NewPool(threads-1, 1)
 		if err2 == nil {
-			scheduler, err2 = ownedPool.Attach(plan)
+			scheduler, err2 = ownedPool.Attach(plan, opts)
 		}
 	default:
-		scheduler, err2 = sched.New(cfg.Strategy, plan, threads)
+		scheduler, err2 = sched.New(cfg.Strategy, plan, opts)
 	}
 	if err2 != nil {
 		if ownedPool != nil {
@@ -198,6 +243,7 @@ func New(cfg Config) (*Engine, error) {
 		plan:        plan,
 		sched:       scheduler,
 		ownedPool:   ownedPool,
+		col:         collector,
 		seq:         sharedSequence,
 		lf:          lf,
 		masterTempo: 1,
@@ -206,15 +252,15 @@ func New(cfg Config) (*Engine, error) {
 	e.govFactor.Store(math.Float64bits(1))
 
 	scheduler.SetFaultPolicy(cfg.FaultPolicy)
-	if cfg.OnFault != nil {
-		scheduler.SetFaultHandler(cfg.OnFault)
+	if cfg.Hooks.OnFault != nil {
+		scheduler.SetFaultHandler(cfg.Hooks.OnFault)
 	}
 	if cfg.Governor.Enabled {
 		e.gov = newGovernor(cfg.Governor, scheduler, plan, func(f float64) {
 			e.govFactor.Store(math.Float64bits(f))
 			e.applyLoadFactor()
 		})
-		e.gov.onChange = cfg.OnGovChange
+		e.gov.onChange = cfg.Hooks.OnGovChange
 	}
 	if cfg.Watchdog {
 		wallMS := cfg.WatchdogWallMS
@@ -222,7 +268,7 @@ func New(cfg Config) (*Engine, error) {
 			wallMS = 50 * DeadlineMS
 		}
 		e.wd = newWatchdog(scheduler, plan,
-			time.Duration(wallMS*float64(time.Millisecond)), cfg.OnStall)
+			time.Duration(wallMS*float64(time.Millisecond)), cfg.Hooks.OnStall)
 	}
 
 	// Timecode front end: one virtual turntable per deck, spinning at the
@@ -333,8 +379,12 @@ func (e *Engine) Session() *graph.Session { return e.session }
 // Plan exposes the compiled task graph.
 func (e *Engine) Plan() *graph.Plan { return e.plan }
 
-// Scheduler exposes the active scheduler (e.g. to install a tracer).
+// Scheduler exposes the active scheduler.
 func (e *Engine) Scheduler() sched.Scheduler { return e.sched }
+
+// Collector exposes the observability collector (nil when disabled via
+// ObsOptions.Disable).
+func (e *Engine) Collector() *obs.Collector { return e.col }
 
 // Close releases the scheduler workers and restores the GC setting.
 func (e *Engine) Close() {
@@ -471,14 +521,31 @@ func (e *Engine) Cycle(m *Metrics) {
 	if e.gov != nil {
 		e.gov.observe(t4.Sub(t0).Seconds()*1e3, t3.Sub(t2).Seconds()*1e3)
 	}
-	if m == nil {
-		return
-	}
 	tp := t1.Sub(t0).Seconds() * 1e3
 	gp := t2.Sub(t1).Seconds() * 1e3
 	gr := t3.Sub(t2).Seconds() * 1e3
 	vc := t4.Sub(t3).Seconds() * 1e3
 	apc := t4.Sub(t0).Seconds() * 1e3
+	missed := apc > DeadlineMS
+	e.live.add(tp, gp, gr, vc, apc, missed)
+	if e.cfg.Hooks.OnCycle != nil {
+		e.cfg.Hooks.OnCycle(CycleInfo{
+			Cycle: e.cycleN,
+			TPMS:  tp, GPMS: gp, GraphMS: gr, VCMS: vc, APCMS: apc,
+			DeadlineMiss: missed,
+		})
+	}
+	if e.cfg.Hooks.OnTrace != nil && e.col != nil {
+		if seq := e.col.TraceSeq(); seq != e.lastTraceSeq {
+			e.lastTraceSeq = seq
+			if e.col.LatestTrace(&e.traceScratch) {
+				e.cfg.Hooks.OnTrace(&e.traceScratch)
+			}
+		}
+	}
+	if m == nil {
+		return
+	}
 	m.Cycles++
 	m.TP.Add(tp)
 	m.GP.Add(gp)

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"djstar/internal/obs"
+)
+
+// DebugServer is the optional live-observability HTTP endpoint
+// (djstar/djbench -http): net/http/pprof under /debug/pprof/, plus
+// JSON views of the engine Snapshot, the latest critical path and the
+// latest sampled schedule realization (as Chrome trace_event JSON).
+// It reads engine state through Snapshot/Collector only, so serving
+// never touches the audio path.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebugServer listens on addr (e.g. ":6060") and serves:
+//
+//	/debug/pprof/     – the standard pprof index and profiles
+//	/api/snapshot     – engine.Snapshot JSON (versioned)
+//	/api/critpath     – the measured critical path JSON
+//	/api/trace        – latest sampled cycles as Chrome trace JSON
+//
+// snapshot supplies the engine view per request; for a multi-session
+// process pass a closure over the session of interest.
+func StartDebugServer(addr string, e *Engine) (*DebugServer, error) {
+	if e == nil {
+		return nil, fmt.Errorf("engine: debug server needs an engine")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/api/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, e.Snapshot())
+	})
+	mux.HandleFunc("/api/critpath", func(w http.ResponseWriter, _ *http.Request) {
+		ps, ok := e.CriticalPath()
+		if !ok {
+			http.Error(w, `{"error":"no observability data yet"}`, http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, ps)
+	})
+	mux.HandleFunc("/api/trace", func(w http.ResponseWriter, _ *http.Request) {
+		col := e.Collector()
+		if col == nil {
+			http.Error(w, `{"error":"observability disabled"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteChromeTrace(w, e.Plan(), col.Traces())
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

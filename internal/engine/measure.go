@@ -26,10 +26,9 @@ func MeasureNodeDurations(cfg graph.Config, cycles int) ([]float64, *graph.Plan,
 	if err != nil {
 		return nil, nil, err
 	}
-	s := sched.NewSequential(plan)
-	defer s.Close()
 	tr := sched.NewTracer(plan.Len())
-	s.SetTracer(tr)
+	s := sched.NewSequential(plan, sched.Options{Observer: tr})
+	defer s.Close()
 
 	sums := make([]float64, plan.Len())
 	for c := 0; c < cycles; c++ {

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"sync"
+
+	"djstar/internal/obs"
+)
+
+// SnapshotSchemaVersion identifies the Snapshot wire shape; consumers
+// (HTTP endpoint, middleware bus, UI) check it instead of sniffing
+// fields. Bump on any incompatible change.
+const SnapshotSchemaVersion = 1
+
+// Snapshot is the engine's unified point-in-time observability view:
+// whole-run cycle accounting, health/fault/degradation state, per-node
+// timing stats and the measured critical path, in one versioned struct.
+// It replaces the previous split where Metrics, Health and ad-hoc
+// scheduler queries each exposed a different subset. Snapshot allocates
+// and takes the collector mutex — call it from UI/telemetry rates, not
+// the audio path.
+type Snapshot struct {
+	SchemaVersion int `json:"schema_version"`
+
+	Strategy string `json:"strategy"`
+	Threads  int    `json:"threads"`
+	// Cycles is the engine's own cycle count (independent of any
+	// user-supplied Metrics sink).
+	Cycles uint64 `json:"cycles"`
+
+	// Component means over the whole run, milliseconds.
+	TPMeanMS    float64 `json:"tp_mean_ms"`
+	GPMeanMS    float64 `json:"gp_mean_ms"`
+	GraphMeanMS float64 `json:"graph_mean_ms"`
+	VCMeanMS    float64 `json:"vc_mean_ms"`
+	APCMeanMS   float64 `json:"apc_mean_ms"`
+	GraphMaxMS  float64 `json:"graph_max_ms"`
+	APCMaxMS    float64 `json:"apc_max_ms"`
+
+	// DeadlineMisses counts APCs over the 2.902 ms packet period;
+	// MissRate is the fraction of all cycles.
+	DeadlineMisses uint64  `json:"deadline_misses"`
+	MissRate       float64 `json:"miss_rate"`
+
+	// Health is the fault-tolerance and degradation state.
+	Health Health `json:"health"`
+
+	// Nodes are the collector's per-node timing stats (nil when the
+	// collector is disabled).
+	Nodes []obs.NodeStat `json:"nodes,omitempty"`
+	// CritPath is the critical path under the measured node means (nil
+	// when the collector is disabled or no cycle has run).
+	CritPath *obs.PathStat `json:"crit_path,omitempty"`
+}
+
+// liveStats is the engine's always-on cycle accounting, updated once per
+// Cycle under a mutex that only Snapshot contends for.
+type liveStats struct {
+	mu                                    sync.Mutex
+	cycles                                uint64
+	tpSum, gpSum, graphSum, vcSum, apcSum float64
+	graphMax, apcMax                      float64
+	misses                                uint64
+}
+
+func (l *liveStats) add(tp, gp, graph, vc, apc float64, missed bool) {
+	l.mu.Lock()
+	l.cycles++
+	l.tpSum += tp
+	l.gpSum += gp
+	l.graphSum += graph
+	l.vcSum += vc
+	l.apcSum += apc
+	if graph > l.graphMax {
+		l.graphMax = graph
+	}
+	if apc > l.apcMax {
+		l.apcMax = apc
+	}
+	if missed {
+		l.misses++
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot assembles the unified observability view.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		SchemaVersion: SnapshotSchemaVersion,
+		Strategy:      e.sched.Name(),
+		Threads:       e.sched.Threads(),
+		Health:        e.Health(),
+	}
+	e.live.mu.Lock()
+	s.Cycles = e.live.cycles
+	if n := float64(e.live.cycles); n > 0 {
+		s.TPMeanMS = e.live.tpSum / n
+		s.GPMeanMS = e.live.gpSum / n
+		s.GraphMeanMS = e.live.graphSum / n
+		s.VCMeanMS = e.live.vcSum / n
+		s.APCMeanMS = e.live.apcSum / n
+		s.MissRate = float64(e.live.misses) / n
+	}
+	s.GraphMaxMS = e.live.graphMax
+	s.APCMaxMS = e.live.apcMax
+	s.DeadlineMisses = e.live.misses
+	e.live.mu.Unlock()
+
+	if e.col != nil && s.Cycles > 0 {
+		s.Nodes = e.col.NodeStats()
+		cp := obs.CriticalPath(e.plan, e.col.NodeMeansUS())
+		s.CritPath = &cp
+	}
+	return s
+}
+
+// CriticalPath computes the critical path under the collector's measured
+// node means. ok is false when the collector is disabled or no cycle has
+// been observed yet.
+func (e *Engine) CriticalPath() (ps obs.PathStat, ok bool) {
+	if e.col == nil || e.col.Cycles() == 0 {
+		return obs.PathStat{}, false
+	}
+	return obs.CriticalPath(e.plan, e.col.NodeMeansUS()), true
+}

@@ -84,17 +84,19 @@ func Chaos(o Options) (*ChaosResult, error) {
 		Strategy:    sched.NameBusyWait,
 		Threads:     o.MaxThreads,
 		FaultPolicy: sched.FaultPolicy{ProbeEvery: chaosProbeEvery},
-		OnFault: func(r sched.FaultRecord) {
-			mu.Lock()
-			recs = append(recs, r)
-			mu.Unlock()
-		},
 		Watchdog:       true,
 		WatchdogWallMS: chaosWallMS,
-		OnStall: func(r engine.StallRecord) {
-			mu.Lock()
-			stalls = append(stalls, r)
-			mu.Unlock()
+		Hooks: engine.Hooks{
+			OnFault: func(r sched.FaultRecord) {
+				mu.Lock()
+				recs = append(recs, r)
+				mu.Unlock()
+			},
+			OnStall: func(r engine.StallRecord) {
+				mu.Lock()
+				stalls = append(stalls, r)
+				mu.Unlock()
+			},
 		},
 	})
 	if err != nil {
@@ -236,7 +238,7 @@ func Governor(o Options) (*GovernorResult, error) {
 				EscalateMissRate: 0.2,
 				CleanWindows:     2,
 			}
-			cfg.OnGovChange = func(_, to engine.GovLevel) {
+			cfg.Hooks.OnGovChange = func(_, to engine.GovLevel) {
 				if to > res.MaxLevel {
 					res.MaxLevel = to
 				}

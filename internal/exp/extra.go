@@ -186,7 +186,7 @@ func Ablation(opts Options) (*AblationResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		ws, err := sched.NewWorkStealOpts(plan, opts.MaxThreads, v.opts)
+		ws, err := sched.NewWorkSteal(plan, sched.Options{Threads: opts.MaxThreads, WS: v.opts})
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +220,7 @@ func Ablation(opts Options) (*AblationResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := sched.New(name, plan, opts.MaxThreads)
+		s, err := sched.New(name, plan, sched.Options{Threads: opts.MaxThreads})
 		if err != nil {
 			return nil, err
 		}

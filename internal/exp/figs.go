@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"djstar/internal/engine"
+	"djstar/internal/obs"
 	"djstar/internal/sched"
 	"djstar/internal/stats"
 )
@@ -93,8 +94,10 @@ type Fig11Result struct {
 }
 
 // Fig11 reproduces Fig. 11: typical schedule realizations of the three
-// strategies with four threads. For each strategy it traces many cycles
-// and reports the one whose makespan is closest to the strategy's median.
+// strategies with four threads. For each strategy it samples every cycle
+// through the engine's observability collector (Obs.TraceEvery=1 plus the
+// OnTrace hook) and reports the one whose makespan is closest to the
+// strategy's median.
 func Fig11(opts Options) (*Fig11Result, error) {
 	opts.normalize()
 	res := &Fig11Result{
@@ -103,28 +106,37 @@ func Fig11(opts Options) (*Fig11Result, error) {
 	}
 	traceCycles := min(opts.Cycles, 400)
 	for _, name := range ParallelStrategies {
-		cfg := engine.Config{
-			Graph:    opts.graphConfig(),
-			Strategy: name,
-			Threads:  opts.MaxThreads,
-		}
-		e, err := engine.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		tr := sched.NewTracer(e.Plan().Len())
-		e.Scheduler().SetTracer(tr)
-
 		type rec struct {
 			makespan int64
 			events   []sched.TraceEvent
 		}
 		var recs []rec
+		cfg := engine.Config{
+			Graph:    opts.graphConfig(),
+			Strategy: name,
+			Threads:  opts.MaxThreads,
+			Obs:      engine.ObsOptions{TraceEvery: 1, TraceRing: 1},
+			Hooks: engine.Hooks{OnTrace: func(t *obs.CycleTrace) {
+				// The trace buffers are reused across cycles: copy into a
+				// flat event list (one entry per node, like the Tracer).
+				evs := make([]sched.TraceEvent, len(t.Worker))
+				for id := range t.Worker {
+					evs[id] = sched.TraceEvent{
+						Node:   int32(id),
+						Worker: t.Worker[id],
+						Start:  t.StartNS[id],
+						End:    t.EndNS[id],
+					}
+				}
+				recs = append(recs, rec{t.MakespanNS(), evs})
+			}},
+		}
+		e, err := engine.New(cfg)
+		if err != nil {
+			return nil, err
+		}
 		for c := 0; c < traceCycles; c++ {
 			e.Cycle(nil)
-			evs := make([]sched.TraceEvent, len(tr.Events()))
-			copy(evs, tr.Events())
-			recs = append(recs, rec{tr.Makespan(), evs})
 		}
 		e.Close()
 

@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"djstar/internal/engine"
+	"djstar/internal/obs"
+)
+
+// CritPathRow is one strategy's measured-vs-bound comparison.
+type CritPathRow struct {
+	Strategy string
+	Threads  int
+	// MeasuredUS is the mean measured graph execution time.
+	MeasuredUS float64
+	// CritPathUS is the critical path under the run's measured node means.
+	CritPathUS float64
+	// BoundUS is the RESCON-style lower bound max(CP, work/threads).
+	BoundUS float64
+	// Efficiency is BoundUS / MeasuredUS (1.0 = optimal schedule).
+	Efficiency float64
+}
+
+// CritPathResult is the R3 efficiency table: how close each online
+// strategy comes to the schedule-theoretic lower bound of its own run.
+type CritPathResult struct {
+	// Path is the critical path of the busy-wait run (the arms differ
+	// only by measurement noise across strategies).
+	Path obs.PathStat
+	Rows []CritPathRow
+}
+
+// CritPath measures every parallel strategy with the always-on collector
+// and compares the mean graph time against the critical-path bound
+// computed from that same run's measured node means — the experiment
+// behind EXPERIMENTS.md R3. The invariant CP ≤ Bound ≤ measured is also
+// what cmd/djanalyze -graph and the property tests check.
+func CritPath(o Options) (*CritPathResult, error) {
+	o.normalize()
+	res := &CritPathResult{}
+	fprintf(o.Out, "Schedule efficiency against the critical-path bound (%d cycles, scale %.2f, %d threads)\n\n",
+		o.Cycles, o.Scale, o.MaxThreads)
+	fprintf(o.Out, "  %-10s %12s %12s %12s %11s\n", "strategy", "measured µs", "critpath µs", "bound µs", "efficiency")
+	for _, name := range ParallelStrategies {
+		cfg := engine.Config{
+			Graph:     o.graphConfig(),
+			Strategy:  name,
+			Threads:   o.MaxThreads,
+			DisableGC: o.Scale >= 0.5,
+		}
+		e, err := engine.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < min(o.Cycles/10+1, 200); i++ {
+			e.Cycle(nil)
+		}
+		m := e.RunCycles(o.Cycles)
+		ps, ok := e.CriticalPath()
+		e.Close()
+		if !ok {
+			continue
+		}
+		row := CritPathRow{
+			Strategy:   name,
+			Threads:    o.MaxThreads,
+			MeasuredUS: m.Graph.Mean() * 1e3,
+			CritPathUS: ps.LengthUS,
+			BoundUS:    ps.Bound(o.MaxThreads),
+			Efficiency: ps.Efficiency(m.Graph.Mean()*1e3, o.MaxThreads),
+		}
+		res.Rows = append(res.Rows, row)
+		if name == ParallelStrategies[0] {
+			res.Path = ps
+		}
+		fprintf(o.Out, "  %-10s %12.1f %12.1f %12.1f %10.1f%%\n",
+			row.Strategy, row.MeasuredUS, row.CritPathUS, row.BoundUS, 100*row.Efficiency)
+	}
+	fprintf(o.Out, "\ncritical path (busy-wait run): %s\n", res.Path.String())
+	fprintf(o.Out, "parallelism (work / critical path): %.2f\n\n", res.Path.Parallelism)
+	return res, nil
+}
+
+// ObsOverheadResult is the observability overhead A/B measurement.
+type ObsOverheadResult struct {
+	// OnMS / OffMS are mean APC times with the collector enabled at the
+	// default sampling rate and fully disabled.
+	OnMS, OffMS float64
+	// Ratio is OnMS / OffMS (1.0 = free; the acceptance bar is < 1.02).
+	Ratio float64
+}
+
+// ObsOverhead measures the cost of the always-on collector: two otherwise
+// identical busy-wait runs, one with the collector at default sampling
+// and one with Obs.Disable. CI gates on the same A/B through
+// BenchmarkObsOverhead and scripts/check_obs_overhead.sh.
+func ObsOverhead(o Options) (*ObsOverheadResult, error) {
+	o.normalize()
+	run := func(disable bool) (float64, error) {
+		cfg := engine.Config{
+			Graph:     o.graphConfig(),
+			Strategy:  ParallelStrategies[0],
+			Threads:   o.MaxThreads,
+			DisableGC: o.Scale >= 0.5,
+			Obs:       engine.ObsOptions{Disable: disable},
+		}
+		e, err := engine.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		defer e.Close()
+		for i := 0; i < min(o.Cycles/10+1, 200); i++ {
+			e.Cycle(nil)
+		}
+		return e.RunCycles(o.Cycles).APC.Mean(), nil
+	}
+	// Interleave off/on to share thermal and frequency conditions.
+	off, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	on, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	res := &ObsOverheadResult{OnMS: on, OffMS: off, Ratio: on / off}
+	fprintf(o.Out, "Observability overhead (%d cycles, busy-wait, %d threads)\n\n", o.Cycles, o.MaxThreads)
+	fprintf(o.Out, "  collector off: %.4f ms mean APC\n", res.OffMS)
+	fprintf(o.Out, "  collector on:  %.4f ms mean APC\n", res.OnMS)
+	fprintf(o.Out, "  ratio:         %.4f (acceptance: < 1.02)\n\n", res.Ratio)
+	return res, nil
+}

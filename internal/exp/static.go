@@ -78,19 +78,19 @@ func StaticVsOnline(opts Options) (*StaticResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		return sched.NewStatic(p, lists)
+		return sched.NewStatic(p, lists, sched.Options{})
 	})
 	if err != nil {
 		return nil, err
 	}
 	busySum, err := run(func(p *graph.Plan) (sched.Scheduler, error) {
-		return sched.NewBusyWait(p, opts.MaxThreads)
+		return sched.NewBusyWait(p, sched.Options{Threads: opts.MaxThreads})
 	})
 	if err != nil {
 		return nil, err
 	}
 	wsSum, err := run(func(p *graph.Plan) (sched.Scheduler, error) {
-		return sched.NewWorkSteal(p, opts.MaxThreads)
+		return sched.NewWorkSteal(p, sched.Options{Threads: opts.MaxThreads})
 	})
 	if err != nil {
 		return nil, err

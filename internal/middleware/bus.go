@@ -204,6 +204,7 @@ const (
 	TopicHealth       = "engine.health"  // payload HealthReport
 	TopicFault        = "engine.fault"   // payload FaultEvent
 	TopicDegrade      = "engine.degrade" // payload DegradeEvent
+	TopicTrace        = "engine.trace"   // payload ScheduleTrace
 )
 
 // DeckPosition reports a deck's playhead (UI waveform cursor).
@@ -236,7 +237,8 @@ type DeadlineMiss struct {
 }
 
 // HealthReport is the periodic engine-health event: governor state, fault
-// counters, watchdog stalls and the bus's own per-topic drop totals.
+// counters, watchdog stalls, the engine's whole-run cycle accounting
+// (from engine.Snapshot) and the bus's own per-topic drop totals.
 type HealthReport struct {
 	Cycle int64
 	// Level is the governor's degradation level ("normal", "degraded1",
@@ -251,6 +253,16 @@ type HealthReport struct {
 	Quarantined []string
 	// Stalls counts watchdog detections so far.
 	Stalls int64
+	// GraphMeanMS and APCMeanMS are the engine's whole-run component
+	// means; MissRate its whole-run deadline miss fraction.
+	GraphMeanMS float64
+	APCMeanMS   float64
+	MissRate    float64
+	// CritPathUS is the current measured critical-path length in
+	// microseconds (0 when observability is off or warming up), and
+	// Parallelism the graph's total-work/critical-path ratio.
+	CritPathUS  float64
+	Parallelism float64
 	// BusDrops is the bus-wide cumulative dropped-event count, and
 	// DropsByTopic its per-topic breakdown (only topics with drops).
 	BusDrops     int64
@@ -275,4 +287,26 @@ type DegradeEvent struct {
 	Cycle int64
 	From  string
 	To    string
+}
+
+// TraceNode is one node execution inside a ScheduleTrace.
+type TraceNode struct {
+	Name   string
+	Worker int
+	// StartUS and EndUS are microseconds from the cycle start.
+	StartUS, EndUS float64
+}
+
+// ScheduleTrace is one sampled schedule realization (the paper's
+// Fig. 11), published on TopicTrace for the UI's Gantt panel. The slice
+// is owned by the subscriber (the publisher copies out of the engine's
+// reused buffers).
+type ScheduleTrace struct {
+	// Cycle is the engine cycle the realization was sampled at.
+	Cycle uint64
+	// Workers is the scheduler's worker count.
+	Workers int
+	// MakespanUS is the realization's graph makespan in microseconds.
+	MakespanUS float64
+	Nodes      []TraceNode
 }

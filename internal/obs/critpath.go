@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"djstar/internal/graph"
+)
+
+// Critical-path analysis: the longest dependency-weighted path through
+// the plan under measured node durations. Its length is the
+// infinite-processor makespan (the paper's 295 µs bound for the 67-node
+// graph); TotalWork/Length is the average parallelism — the RESCON-style
+// resource-unconstrained bound every strategy's measured makespan is
+// judged against.
+
+// PathStat describes the critical path of a plan under a set of node
+// durations.
+type PathStat struct {
+	// Nodes is the path's node chain in execution order, Names the
+	// corresponding node names.
+	Nodes []int32  `json:"nodes"`
+	Names []string `json:"names"`
+	// LengthUS is the path length — the infinite-processor makespan.
+	LengthUS float64 `json:"length_us"`
+	// TotalWorkUS is the sum of all node durations.
+	TotalWorkUS float64 `json:"total_work_us"`
+	// Parallelism is TotalWorkUS / LengthUS, the graph's average
+	// parallelism under these durations.
+	Parallelism float64 `json:"parallelism"`
+}
+
+// CriticalPath computes the longest weighted path through the plan with
+// durUS (microseconds, indexed by node ID) as node weights. Zero-weight
+// nodes are legal; dependencies still route the path through them.
+func CriticalPath(p *graph.Plan, durUS []float64) PathStat {
+	n := p.Len()
+	finish := make([]float64, n)
+	via := make([]int32, n)
+	var ps PathStat
+	last := int32(-1)
+	for _, id := range p.Order {
+		via[id] = -1
+		start := 0.0
+		for _, pr := range p.Preds[id] {
+			if finish[pr] > start {
+				start = finish[pr]
+				via[id] = pr
+			}
+		}
+		finish[id] = start + durUS[id]
+		ps.TotalWorkUS += durUS[id]
+		if last < 0 || finish[id] > finish[last] {
+			last = id
+		}
+	}
+	if last >= 0 {
+		ps.LengthUS = finish[last]
+		for at := last; at >= 0; at = via[at] {
+			ps.Nodes = append(ps.Nodes, at)
+		}
+		// Reverse into execution order.
+		for i, j := 0, len(ps.Nodes)-1; i < j; i, j = i+1, j-1 {
+			ps.Nodes[i], ps.Nodes[j] = ps.Nodes[j], ps.Nodes[i]
+		}
+		ps.Names = make([]string, len(ps.Nodes))
+		for i, id := range ps.Nodes {
+			ps.Names[i] = p.Names[id]
+		}
+	}
+	if ps.LengthUS > 0 {
+		ps.Parallelism = ps.TotalWorkUS / ps.LengthUS
+	}
+	return ps
+}
+
+// Bound returns the lower bound on the makespan achievable with the
+// given thread count: max(critical path, total work / threads) — the
+// RESCON-style resource-constrained bound.
+func (ps PathStat) Bound(threads int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	b := ps.TotalWorkUS / float64(threads)
+	if ps.LengthUS > b {
+		b = ps.LengthUS
+	}
+	return b
+}
+
+// Efficiency returns Bound(threads)/measuredUS — 1.0 means the measured
+// makespan achieves the theoretical bound (the paper reports 99 % for
+// BUSY at 4 threads).
+func (ps PathStat) Efficiency(measuredUS float64, threads int) float64 {
+	if measuredUS <= 0 {
+		return 0
+	}
+	return ps.Bound(threads) / measuredUS
+}
+
+// String renders the chain compactly: length, parallelism and the node
+// names joined by arrows.
+func (ps PathStat) String() string {
+	return fmt.Sprintf("critical path %.1f µs, total work %.1f µs, parallelism %.1f: %s",
+		ps.LengthUS, ps.TotalWorkUS, ps.Parallelism, strings.Join(ps.Names, " → "))
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"djstar/internal/graph"
+)
+
+// diamondPlan builds a diamond with a long arm:
+//
+//	     ┌→ b(30) ┐
+//	a(10)┤        ├→ d(20)
+//	     └→ c(5)  ┘
+//
+// Critical path a→b→d = 60 µs, total work 65 µs.
+func diamondPlan(t *testing.T) *graph.Plan {
+	t.Helper()
+	g := graph.New()
+	a := g.AddNode("a", graph.SectionDeckA, nil)
+	b := g.AddNode("b", graph.SectionDeckA, nil)
+	c := g.AddNode("c", graph.SectionDeckA, nil)
+	d := g.AddNode("d", graph.SectionDeckA, nil)
+	for _, e := range [][2]int{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	p := diamondPlan(t)
+	ps := CriticalPath(p, []float64{10, 30, 5, 20})
+	if ps.LengthUS != 60 {
+		t.Fatalf("length = %v, want 60", ps.LengthUS)
+	}
+	if ps.TotalWorkUS != 65 {
+		t.Fatalf("total work = %v, want 65", ps.TotalWorkUS)
+	}
+	if want := []string{"a", "b", "d"}; strings.Join(ps.Names, ",") != strings.Join(want, ",") {
+		t.Fatalf("path = %v, want %v", ps.Names, want)
+	}
+	if math.Abs(ps.Parallelism-65.0/60.0) > 1e-12 {
+		t.Fatalf("parallelism = %v, want %v", ps.Parallelism, 65.0/60.0)
+	}
+	if got := ps.String(); !strings.Contains(got, "a → b → d") {
+		t.Fatalf("String() = %q, missing chain", got)
+	}
+}
+
+func TestCriticalPathSwitchesArms(t *testing.T) {
+	p := diamondPlan(t)
+	// Make the c arm the long one.
+	ps := CriticalPath(p, []float64{10, 5, 30, 20})
+	if want := "a,c,d"; strings.Join(ps.Names, ",") != want {
+		t.Fatalf("path = %v, want %v", ps.Names, want)
+	}
+	if ps.LengthUS != 60 {
+		t.Fatalf("length = %v, want 60", ps.LengthUS)
+	}
+}
+
+func TestCriticalPathZeroWeights(t *testing.T) {
+	p := diamondPlan(t)
+	ps := CriticalPath(p, make([]float64, p.Len()))
+	if ps.LengthUS != 0 || ps.TotalWorkUS != 0 || ps.Parallelism != 0 {
+		t.Fatalf("zero-weight stats: %+v", ps)
+	}
+	if len(ps.Nodes) == 0 {
+		t.Fatal("zero-weight path empty — dependencies should still route it")
+	}
+}
+
+func TestBoundAndEfficiency(t *testing.T) {
+	ps := PathStat{LengthUS: 60, TotalWorkUS: 240}
+	// Work-limited below 4 threads, path-limited beyond.
+	for threads, want := range map[int]float64{1: 240, 2: 120, 4: 60, 8: 60} {
+		if got := ps.Bound(threads); got != want {
+			t.Fatalf("Bound(%d) = %v, want %v", threads, got, want)
+		}
+	}
+	if got := ps.Bound(0); got != 240 {
+		t.Fatalf("Bound(0) = %v, want 240 (clamped to 1 thread)", got)
+	}
+	if got := ps.Efficiency(120, 4); got != 0.5 {
+		t.Fatalf("Efficiency(120, 4) = %v, want 0.5", got)
+	}
+	if got := ps.Efficiency(0, 4); got != 0 {
+		t.Fatalf("Efficiency(0, 4) = %v, want 0", got)
+	}
+	// Efficiency of an optimal schedule is 1.
+	if got := ps.Efficiency(60, 4); got != 1 {
+		t.Fatalf("Efficiency(60, 4) = %v, want 1", got)
+	}
+}

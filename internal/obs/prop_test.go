@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"djstar/internal/graph"
+	"djstar/internal/sched"
+	"djstar/internal/synth"
+)
+
+// randomPlan compiles a reproducible random DAG whose nodes are safe to
+// re-execute across cycles (graph.RandomDAG's nodes panic on re-run —
+// they exist for single-cycle exactly-once property tests).
+func randomPlan(t testing.TB, nodes int, edgeProb float64, seed uint64) *graph.Plan {
+	t.Helper()
+	rng := synth.NewRand(seed)
+	g := graph.New()
+	for i := 0; i < nodes; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), graph.DeckSection(i%4), func() {})
+	}
+	for to := 1; to < nodes; to++ {
+		for from := 0; from < to; from++ {
+			if rng.Float64() < edgeProb {
+				if err := g.AddEdge(from, to); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	p, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// spinPlan builds a layered DAG (width parallel chains joined at a sink)
+// whose nodes busy-spin for spinUS microseconds — real work with a known
+// cost, so schedule-theory invariants can be checked against wall time.
+func spinPlan(t testing.TB, width, depth int, spinUS int) *graph.Plan {
+	t.Helper()
+	spin := func() {
+		end := time.Now().Add(time.Duration(spinUS) * time.Microsecond)
+		for time.Now().Before(end) {
+		}
+	}
+	g := graph.New()
+	src := g.AddNode("src", graph.SectionDeckA, spin)
+	var heads []int
+	for w := 0; w < width; w++ {
+		prev := src
+		for d := 0; d < depth; d++ {
+			id := g.AddNode(fmt.Sprintf("c%dn%d", w, d), graph.DeckSection(w), spin)
+			if err := g.AddEdge(prev, id); err != nil {
+				t.Fatal(err)
+			}
+			prev = id
+		}
+		heads = append(heads, prev)
+	}
+	sink := g.AddNode("sink", graph.SectionMaster, spin)
+	for _, h := range heads {
+		if err := g.AddEdge(h, sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCriticalPathBoundsMakespan is the schedule-theory property test:
+// for every parallel strategy, on every sampled cycle, the critical path
+// under that cycle's MEASURED node durations is a lower bound on the
+// cycle's makespan, and the makespan never exceeds the serialized sum of
+// node durations plus a scheduling-overhead margin.
+func TestCriticalPathBoundsMakespan(t *testing.T) {
+	// 3 chains × 3 nodes × 100 µs + src + sink ≈ 1.1 ms of work per
+	// cycle — large against wake-up and observer costs.
+	p := spinPlan(t, 3, 3, 100)
+	for _, name := range []string{
+		sched.NameBusyWait, sched.NameSleep, sched.NameWorkSteal,
+		sched.NameSleepScan, sched.NameStatic,
+	} {
+		t.Run(name, func(t *testing.T) {
+			col := NewCollector(p, Config{Workers: 2, TraceEvery: 1, TraceRing: 1})
+			s, err := sched.New(name, p, sched.Options{Threads: 2, Observer: col})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			durUS := make([]float64, p.Len())
+			var ct CycleTrace
+			for cyc := 0; cyc < 10; cyc++ {
+				s.Execute()
+				if !col.LatestTrace(&ct) {
+					t.Fatal("no trace")
+				}
+				sum := 0.0
+				for id := range durUS {
+					if ct.Worker[id] < 0 {
+						t.Fatalf("cycle %d: node %d unobserved", cyc, id)
+					}
+					durUS[id] = float64(ct.EndNS[id]-ct.StartNS[id]) / 1e3
+					sum += durUS[id]
+				}
+				makespan := float64(ct.MakespanNS()) / 1e3
+				cp := CriticalPath(p, durUS)
+				// Lower bound: a dependency chain cannot finish faster
+				// than the sum of its own nodes. Exact, no tolerance —
+				// start/end stamps come from one monotonic clock and every
+				// node starts after its predecessors end.
+				if cp.LengthUS > makespan+1e-9 {
+					t.Fatalf("cycle %d: critical path %.1f µs > makespan %.1f µs",
+						cyc, cp.LengthUS, makespan)
+				}
+				// Upper bound: even serialized, the work sums to `sum`.
+				// This is a sanity check (catches unit mix-ups), so the
+				// margin is generous: sleepers pay a wake-up per handoff
+				// and the race detector multiplies every gap.
+				if makespan > sum+5000 {
+					t.Fatalf("cycle %d: makespan %.1f µs > serialized sum %.1f µs + margin",
+						cyc, makespan, sum)
+				}
+				// The RESCON-style bound is itself below the makespan.
+				if b := cp.Bound(s.Threads()); b > makespan+1e-9 {
+					t.Fatalf("cycle %d: Bound(%d) %.1f µs > makespan %.1f µs",
+						cyc, s.Threads(), b, makespan)
+				}
+			}
+		})
+	}
+}
+
+// TestPoolShardMergeRace exercises the collector's shard-merge path under
+// the shared worker pool with three concurrently executing sessions, each
+// with its own collector, while readers poll stats and traces — the
+// -race acceptance test for the one-writer-per-shard design.
+func TestPoolShardMergeRace(t *testing.T) {
+	const sessions = 3
+	const cycles = 120
+	pool, err := sched.NewPool(3, sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	type bundle struct {
+		s   *sched.PoolSession
+		col *Collector
+		p   *graph.Plan
+	}
+	var bs []bundle
+	for i := 0; i < sessions; i++ {
+		p := randomPlan(t, 20+7*i, 0.15, uint64(50+i))
+		// Shards = pool workers + the session caller.
+		col := NewCollector(p, Config{Workers: pool.Workers() + 1, TraceEvery: 4, TraceRing: 4})
+		s, err := pool.Attach(p, sched.Options{Observer: col})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		bs = append(bs, bundle{s, col, p})
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers hammer the snapshot paths while the sessions run.
+	for i := range bs {
+		b := bs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ct CycleTrace
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = b.col.NodeStats()
+					_ = b.col.NodeMeansUS()
+					b.col.LatestTrace(&ct)
+				}
+			}
+		}()
+	}
+	var execWG sync.WaitGroup
+	for i := range bs {
+		b := bs[i]
+		execWG.Add(1)
+		go func() {
+			defer execWG.Done()
+			for c := 0; c < cycles; c++ {
+				b.s.Execute()
+			}
+		}()
+	}
+	execWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	for i, b := range bs {
+		if got := b.col.Cycles(); got != cycles {
+			t.Fatalf("session %d merged %d cycles, want %d", i, got, cycles)
+		}
+		for _, st := range b.col.NodeStats() {
+			if st.Count != cycles {
+				t.Fatalf("session %d node %s count = %d, want %d", i, st.Name, st.Count, cycles)
+			}
+		}
+		if got := b.col.TraceSeq(); got != cycles/4 {
+			t.Fatalf("session %d sampled %d traces, want %d", i, got, cycles/4)
+		}
+	}
+}

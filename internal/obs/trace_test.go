@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// goldenTraces is a fixed pair of sampled realizations over the 4-node
+// chain: deterministic input for the golden-file comparison.
+func goldenTraces() []CycleTrace {
+	return []CycleTrace{
+		{
+			Cycle: 32, BaseNS: 1_000_000, Workers: 2,
+			Worker:  []int32{0, 1, 0, 1},
+			StartNS: []int64{0, 5_000, 12_000, 20_000},
+			EndNS:   []int64{4_000, 11_000, 19_000, 27_500},
+		},
+		{
+			Cycle: 64, BaseNS: 4_000_000, Workers: 2,
+			Worker:  []int32{1, 0, -1, 0}, // node 2 shed this cycle
+			StartNS: []int64{0, 4_500, 0, 21_000},
+			EndNS:   []int64{4_200, 10_900, 0, 28_000},
+		},
+	}
+}
+
+// TestChromeTraceGolden locks the exported trace_event JSON byte for
+// byte. Regenerate with `go test ./internal/obs -run Golden -update-golden`
+// after an intentional format change, and re-validate the new file in
+// chrome://tracing.
+func TestChromeTraceGolden(t *testing.T) {
+	p := chainPlan(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, p, goldenTraces()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace JSON diverged from golden file\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceShape validates the document structure the way a trace
+// viewer would read it.
+func TestChromeTraceShape(t *testing.T) {
+	p := chainPlan(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, p, goldenTraces()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export does not parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Fatalf("metadata event %q", ev.Name)
+			}
+		case "X":
+			complete++
+			if ev.Dur < 0 || ev.TS < 0 {
+				t.Fatalf("negative window: %+v", ev)
+			}
+			if ev.PID != 1 || ev.TID < 0 || ev.TID >= 2 {
+				t.Fatalf("bad pid/tid: %+v", ev)
+			}
+			if _, ok := ev.Args["cycle"]; !ok {
+				t.Fatalf("complete event missing cycle arg: %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// 2 worker tracks; 4 + 3 node executions (one node shed in cycle 2).
+	if meta != 2 || complete != 7 {
+		t.Fatalf("meta/complete = %d/%d, want 2/7", meta, complete)
+	}
+	// The second sampled cycle keeps its true wall offset: 3 ms after the
+	// first, so its first event starts at ts 3000 µs.
+	var minSecond float64 = -1
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Args["cycle"].(float64) == 64 {
+			if minSecond < 0 || ev.TS < minSecond {
+				minSecond = ev.TS
+			}
+		}
+	}
+	if minSecond != 3000 {
+		t.Fatalf("second cycle starts at ts %v µs, want 3000", minSecond)
+	}
+}
+
+// TestChromeTraceEmpty: no samples still yields a valid document.
+func TestChromeTraceEmpty(t *testing.T) {
+	p := chainPlan(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export does not parse: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("missing traceEvents key")
+	}
+}

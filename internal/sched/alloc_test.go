@@ -43,7 +43,7 @@ func TestExecuteNoAllocSteadyState(t *testing.T) {
 			if name == NameSequential {
 				threads = 1
 			}
-			s, err := New(name, p, threads)
+			s, err := New(name, p, Options{Threads: threads})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -67,12 +67,12 @@ func TestPoolExecuteNoAllocSteadyState(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	s, err := pool.Attach(p)
+	s, err := pool.Attach(p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	other, err := pool.Attach(noopPlan(t, 20))
+	other, err := pool.Attach(noopPlan(t, 20), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

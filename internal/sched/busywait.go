@@ -17,15 +17,16 @@ type BusyWait struct {
 	*core
 }
 
-// NewBusyWait returns a busy-waiting scheduler with the given thread
-// count. The calling goroutine acts as worker 0 during Execute; threads-1
+// NewBusyWait returns a busy-waiting scheduler with o.Threads workers.
+// The calling goroutine acts as worker 0 during Execute; threads-1
 // persistent spinning workers are started immediately.
-func NewBusyWait(p *graph.Plan, threads int) (*BusyWait, error) {
-	if err := checkThreads(p, threads); err != nil {
+func NewBusyWait(p *graph.Plan, o Options) (*BusyWait, error) {
+	o = o.withDefaults()
+	if err := checkThreads(p, o.Threads); err != nil {
 		return nil, err
 	}
-	pol := &listSpinPolicy{strategy: NameBusyWait, lists: roundRobinLists(p, threads)}
-	return &BusyWait{core: newCore(p, threads, pol, waitSpin)}, nil
+	pol := &listSpinPolicy{strategy: NameBusyWait, lists: roundRobinLists(p, o.Threads)}
+	return &BusyWait{core: newCore(p, o.Threads, o.Observer, pol, waitSpin)}, nil
 }
 
 // roundRobinLists splits the queue order across threads: worker w gets
@@ -60,14 +61,14 @@ func (pol *listSpinPolicy) beginCycle(*core) {}
 // runCycle executes worker w's node list for the given generation,
 // spinning on unfinished dependencies.
 func (pol *listSpinPolicy) runCycle(c *core, w int32, gen uint64) {
-	tr := c.tracer
+	obs := c.obs
 	for _, id := range pol.lists[w] {
 		// Dependency check with busy-waiting (paper Fig. 5).
 		for _, d := range c.plan.Preds[id] {
 			d := d
 			spinWait(func() bool { return c.done[d].Load() == gen })
 		}
-		c.exec(c.plan, tr, id, w, gen)
+		c.exec(c.plan, obs, id, w, gen)
 		c.done[id].Store(gen)
 	}
 }

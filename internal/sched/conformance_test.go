@@ -15,32 +15,33 @@ import (
 // pool behind a session) and must be safe to call after Close.
 type schedulerCase struct {
 	name  string
-	build func(t *testing.T, p *graph.Plan) (Scheduler, func())
+	build func(t *testing.T, p *graph.Plan, o Options) (Scheduler, func())
 }
 
 func conformanceCases() []schedulerCase {
 	none := func() {}
 	cases := []schedulerCase{
-		{NameSequential, func(t *testing.T, p *graph.Plan) (Scheduler, func()) {
-			return NewSequential(p), none
+		{NameSequential, func(t *testing.T, p *graph.Plan, o Options) (Scheduler, func()) {
+			return NewSequential(p, o), none
 		}},
 	}
 	for _, name := range []string{NameBusyWait, NameSleep, NameWorkSteal, NameSleepScan, NameStatic} {
 		name := name
-		cases = append(cases, schedulerCase{name, func(t *testing.T, p *graph.Plan) (Scheduler, func()) {
-			s, err := New(name, p, 3)
+		cases = append(cases, schedulerCase{name, func(t *testing.T, p *graph.Plan, o Options) (Scheduler, func()) {
+			o.Threads = 3
+			s, err := New(name, p, o)
 			if err != nil {
 				t.Fatal(err)
 			}
 			return s, none
 		}})
 	}
-	cases = append(cases, schedulerCase{NamePool, func(t *testing.T, p *graph.Plan) (Scheduler, func()) {
+	cases = append(cases, schedulerCase{NamePool, func(t *testing.T, p *graph.Plan, o Options) (Scheduler, func()) {
 		pool, err := NewPool(2, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := pool.Attach(p)
+		s, err := pool.Attach(p, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,7 +68,7 @@ func TestLifecycleCloseIdempotent(t *testing.T) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			p, tr := conformancePlan(t)
-			s, cleanup := c.build(t, p)
+			s, cleanup := c.build(t, p, Options{})
 			defer cleanup()
 			tr.Reset()
 			s.Execute()
@@ -88,7 +89,7 @@ func TestLifecycleExecuteAfterClosePanics(t *testing.T) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			p, _ := conformancePlan(t)
-			s, cleanup := c.build(t, p)
+			s, cleanup := c.build(t, p, Options{})
 			defer cleanup()
 			s.Execute()
 			s.Close()
@@ -106,43 +107,42 @@ func TestLifecycleExecuteAfterClosePanics(t *testing.T) {
 	}
 }
 
-// TestLifecycleSetTracerMidRun: installing a tracer, removing it with
-// nil, and re-installing it between cycles must work for every strategy
-// without disturbing execution.
-func TestLifecycleSetTracerMidRun(t *testing.T) {
+// TestLifecycleObserverConformance: an Observer fixed at construction
+// must see every node of every cycle on every strategy — BeginCycle and
+// EndCycle bracketing each Execute, one Record per node — without
+// disturbing execution.
+func TestLifecycleObserverConformance(t *testing.T) {
 	for _, c := range conformanceCases() {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			p, tr := conformancePlan(t)
-			s, cleanup := c.build(t, p)
+			trace := NewTracer(p.Len())
+			s, cleanup := c.build(t, p, Options{Observer: trace})
 			defer cleanup()
 			defer s.Close()
 
-			cycle := func() {
+			for cycle := 0; cycle < 5; cycle++ {
 				tr.Reset()
 				s.Execute()
 				if err := tr.Check(p); err != nil {
-					t.Fatal(err)
+					t.Fatalf("cycle %d: %v", cycle, err)
 				}
-			}
-
-			cycle() // untraced
-
-			trace := NewTracer(p.Len())
-			s.SetTracer(trace)
-			cycle() // traced
-			for i, e := range trace.Events() {
-				if e.Worker < 0 {
-					t.Fatalf("node %d untraced with tracer installed", i)
+				for i, e := range trace.Events() {
+					if e.Worker < 0 {
+						t.Fatalf("cycle %d: node %d unobserved", cycle, i)
+					}
+					if int(e.Worker) >= s.Threads() {
+						t.Fatalf("cycle %d: node %d observed on worker %d of %d",
+							cycle, i, e.Worker, s.Threads())
+					}
+					if e.End < e.Start {
+						t.Fatalf("cycle %d: node %d has end %d < start %d",
+							cycle, i, e.End, e.Start)
+					}
 				}
-			}
-
-			s.SetTracer(nil)
-			cycle() // untraced again; must not touch the old tracer
-			s.SetTracer(trace)
-			cycle()
-			if trace.Makespan() <= 0 {
-				t.Fatal("re-installed tracer recorded nothing")
+				if trace.Makespan() <= 0 {
+					t.Fatalf("cycle %d: no makespan", cycle)
+				}
 			}
 		})
 	}
@@ -153,7 +153,7 @@ func TestLifecycleSetTracerMidRun(t *testing.T) {
 // assignment) and list every known strategy in its error message.
 func TestLifecycleFactoryStaticRegistered(t *testing.T) {
 	p, tr := conformancePlan(t)
-	s, err := New(NameStatic, p, 4)
+	s, err := New(NameStatic, p, Options{Threads: 4})
 	if err != nil {
 		t.Fatalf("New(%q): %v", NameStatic, err)
 	}
@@ -168,15 +168,16 @@ func TestLifecycleFactoryStaticRegistered(t *testing.T) {
 			t.Fatalf("cycle %d: %v", cycle, err)
 		}
 	}
-	// Thread validation applies to the factory's static path too.
-	if _, err := New(NameStatic, p, 0); err == nil {
-		t.Fatal("static accepted 0 threads")
+	// Thread validation applies to the factory's static path too
+	// (Threads 0 means "default to 1"; negative is invalid).
+	if _, err := New(NameStatic, p, Options{Threads: -1}); err == nil {
+		t.Fatal("static accepted negative threads")
 	}
-	if _, err := New(NameStatic, p, p.Len()+1); err == nil {
+	if _, err := New(NameStatic, p, Options{Threads: p.Len() + 1}); err == nil {
 		t.Fatal("static accepted more threads than nodes")
 	}
 	// Unknown strategies name every accepted one.
-	_, err = New("bogus", p, 2)
+	_, err = New("bogus", p, Options{Threads: 2})
 	if err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
@@ -270,7 +271,7 @@ func TestFaultToleranceConformance(t *testing.T) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			p, tr, armed := faultDAG(t)
-			s, cleanup := c.build(t, p)
+			s, cleanup := c.build(t, p, Options{})
 			defer cleanup()
 			defer s.Close()
 			s.SetFaultPolicy(FaultPolicy{QuarantineAfter: quarantineAfter, ProbeEvery: probeEvery})
@@ -366,7 +367,7 @@ func TestPoolFaultIsolationAcrossSessions(t *testing.T) {
 	var ss []sess
 	for i := 0; i < sessions; i++ {
 		p, tr, armed := faultDAG(t)
-		s, err := pool.Attach(p)
+		s, err := pool.Attach(p, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

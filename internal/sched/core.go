@@ -10,7 +10,7 @@ import (
 // policy is the strategy-specific part of a scheduler: how one worker
 // selects and runs its share of a cycle, and how per-cycle policy state
 // is reset. Everything else — worker spawning, OS-thread pinning, cycle
-// dispatch, completion signaling, tracer plumbing, teardown — lives in
+// dispatch, completion signaling, observer plumbing, teardown — lives in
 // core and is shared by every strategy.
 //
 // A policy's runCycle must execute only nodes whose dependencies have
@@ -45,7 +45,7 @@ const (
 // core owns the worker pool and per-cycle machinery shared by all
 // parallel strategies: persistent OS-thread-pinned workers, the
 // generation/epoch dispatch that starts a cycle, completion signaling,
-// the per-node done/pending state, and the tracer hook. All of it is
+// the per-node done/pending state, and the observer hook. All of it is
 // allocation-free in steady state, per the package contract.
 type core struct {
 	// faultState provides panic recovery, quarantine and load shedding
@@ -54,9 +54,11 @@ type core struct {
 
 	plan    *graph.Plan
 	threads int
-	tracer  *Tracer
-	pol     policy
-	mode    waitMode
+	// obs is the construction-time observer (nil = none); fixed for the
+	// scheduler's lifetime, so workers read it without synchronization.
+	obs  Observer
+	pol  policy
+	mode waitMode
 
 	// done[i] stores the generation in which node i last completed; a
 	// node is done for the current cycle when done[i] == generation.
@@ -80,11 +82,12 @@ type core struct {
 // newCore builds the shared runtime for a policy and starts threads-1
 // persistent workers; the Execute caller acts as worker 0. The caller
 // must have validated the plan/thread combination already.
-func newCore(p *graph.Plan, threads int, pol policy, mode waitMode) *core {
+func newCore(p *graph.Plan, threads int, obs Observer, pol policy, mode waitMode) *core {
 	c := &core{
 		faultState: newFaultState(p, threads),
 		plan:       p,
 		threads:    threads,
+		obs:        obs,
 		pol:        pol,
 		mode:       mode,
 		done:       make([]atomic.Uint64, p.Len()),
@@ -153,18 +156,14 @@ func (c *core) Name() string { return c.pol.name() }
 // Threads implements Scheduler.
 func (c *core) Threads() int { return c.threads }
 
-// SetTracer implements Scheduler. Installing or removing a tracer takes
-// effect at the next Execute.
-func (c *core) SetTracer(t *Tracer) { c.tracer = t }
-
 // Execute implements Scheduler. The caller participates as worker 0.
 // Execute panics if the scheduler has been closed.
 func (c *core) Execute() {
 	if c.closed.Load() {
 		panic("sched: Execute called after Close")
 	}
-	if c.tracer != nil {
-		c.tracer.BeginCycle()
+	if c.obs != nil {
+		c.obs.BeginCycle()
 	}
 	c.pol.beginCycle(c)
 	switch c.mode {
@@ -183,6 +182,9 @@ func (c *core) Execute() {
 		for w := 1; w < c.threads; w++ {
 			<-c.doneCh
 		}
+	}
+	if c.obs != nil {
+		c.obs.EndCycle()
 	}
 }
 

@@ -91,9 +91,9 @@ const (
 type faultState struct {
 	fplan  *graph.Plan
 	policy FaultPolicy
-	// handler is invoked synchronously from the recovering worker; like
-	// the tracer, it must be installed before the first Execute or
-	// between cycles, and must be safe to call from any worker thread.
+	// handler is invoked synchronously from the recovering worker; it
+	// must be installed before the first Execute or between cycles, and
+	// must be safe to call from any worker thread.
 	handler func(FaultRecord)
 
 	// state[i] holds the quarantine/shed bits of node i.
@@ -127,8 +127,8 @@ func newFaultState(p *graph.Plan, workers int) *faultState {
 	}
 }
 
-// SetFaultPolicy implements Scheduler. Zero fields select defaults; like
-// SetTracer, call it before the first Execute or between cycles.
+// SetFaultPolicy implements Scheduler. Zero fields select defaults;
+// call it before the first Execute or between cycles.
 func (f *faultState) SetFaultPolicy(p FaultPolicy) { f.policy = p.withDefaults() }
 
 // SetFaultHandler implements Scheduler: h is invoked synchronously from
@@ -182,11 +182,11 @@ func (f *faultState) Inflight(w int32) int32 {
 // It always returns normally — on a node panic the fault is recorded and
 // contained — so callers retire the node and release its successors
 // exactly as on success.
-func (f *faultState) exec(p *graph.Plan, tr *Tracer, id, w int32, gen uint64) {
+func (f *faultState) exec(p *graph.Plan, o Observer, id, w int32, gen uint64) {
 	st := f.state[id].Load()
 	if st == 0 {
 		f.running[w].Store(id + 1)
-		if err, ok := f.guard(p, tr, id, w); ok {
+		if err, ok := f.guard(p, o, id, w); ok {
 			if f.consec[id].Load() != 0 {
 				f.consec[id].Store(0)
 			}
@@ -201,7 +201,7 @@ func (f *faultState) exec(p *graph.Plan, tr *Tracer, id, w int32, gen uint64) {
 	if st&stateQuarantined != 0 && st&stateShed == 0 && gen >= f.probeAt[id].Load() {
 		f.probes.Add(1)
 		f.running[w].Store(id + 1)
-		if err, ok := f.guard(p, tr, id, w); ok {
+		if err, ok := f.guard(p, o, id, w); ok {
 			f.clearQuarantine(id)
 			f.consec[id].Store(0)
 			f.restored.Add(1)
@@ -216,26 +216,26 @@ func (f *faultState) exec(p *graph.Plan, tr *Tracer, id, w int32, gen uint64) {
 	// correct for in-place processors, whose input passes through. The
 	// zero-length trace event keeps partial-trace checks honest about the
 	// node having been scheduled.
-	f.alternate(p, tr, id, w)
+	f.alternate(p, o, id, w)
 }
 
 // guard runs node id under recover, reporting success or the panic value.
-func (f *faultState) guard(p *graph.Plan, tr *Tracer, id, w int32) (err any, ok bool) {
+func (f *faultState) guard(p *graph.Plan, o Observer, id, w int32) (err any, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = r
 			ok = false
 		}
 	}()
-	runNode(p, tr, id, w)
+	runNode(p, o, id, w)
 	return nil, true
 }
 
 // alternate runs the node's bypass stand-in (guarded too — a broken
-// bypass must not crash either) and records a trace event for it.
-func (f *faultState) alternate(p *graph.Plan, tr *Tracer, id, w int32) {
+// bypass must not crash either) and records its window for the observer.
+func (f *faultState) alternate(p *graph.Plan, o Observer, id, w int32) {
 	b := p.Bypass[id]
-	if tr == nil {
+	if o == nil {
 		if b != nil {
 			f.safely(b)
 		}
@@ -245,7 +245,7 @@ func (f *faultState) alternate(p *graph.Plan, tr *Tracer, id, w int32) {
 	if b != nil {
 		f.safely(b)
 	}
-	tr.Record(id, w, start, nowNanos())
+	o.Record(id, w, start, nowNanos())
 }
 
 // safely invokes fn, swallowing a panic.

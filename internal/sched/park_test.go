@@ -40,7 +40,7 @@ func TestWorkStealParkPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewWorkSteal(p, 4)
+	s, err := NewWorkSteal(p, Options{Threads: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestWorkStealStealPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewWorkSteal(p, 4)
+	s, err := NewWorkSteal(p, Options{Threads: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -91,8 +91,10 @@ func (p *Pool) Capacity() int { return len(p.slots) }
 
 // Attach registers a compiled plan as a new session on the pool. The
 // returned session implements Scheduler; its Close detaches it, freeing
-// the slot. Attach fails when the pool is full or closed.
-func (p *Pool) Attach(plan *graph.Plan) (*PoolSession, error) {
+// the slot. Attach fails when the pool is full or closed. Only
+// o.Observer is honoured: a session's parallelism is the pool's
+// (workers+1), not o.Threads.
+func (p *Pool) Attach(plan *graph.Plan, o Options) (*PoolSession, error) {
 	if plan == nil || plan.Len() == 0 {
 		return nil, fmt.Errorf("sched: empty plan")
 	}
@@ -110,6 +112,7 @@ func (p *Pool) Attach(plan *graph.Plan) (*PoolSession, error) {
 			pool:       p,
 			slot:       int32(i),
 			plan:       plan,
+			obs:        o.Observer,
 			pending:    make([]atomic.Int32, plan.Len()),
 			claimed:    make([]atomic.Uint64, plan.Len()),
 		}
@@ -240,10 +243,13 @@ type PoolSession struct {
 	// session never affects its siblings on the same pool.
 	*faultState
 
-	pool   *Pool
-	slot   int32
-	plan   *graph.Plan
-	tracer *Tracer
+	pool *Pool
+	slot int32
+	plan *graph.Plan
+	// obs is the construction-time observer (nil = none). Pool workers
+	// record their pool worker index; the session's own caller records
+	// index Threads()-1.
+	obs Observer
 
 	// pending[i] counts node i's unfinished dependencies this cycle.
 	pending []atomic.Int32
@@ -270,10 +276,6 @@ func (s *PoolSession) Name() string { return NamePool }
 // session — the pool's workers plus the Execute caller.
 func (s *PoolSession) Threads() int { return s.pool.workers + 1 }
 
-// SetTracer implements Scheduler. Pool workers record their pool worker
-// index; the session's own caller records index Threads()-1.
-func (s *PoolSession) SetTracer(t *Tracer) { s.tracer = t }
-
 // Execute implements Scheduler: one full iteration of this session's
 // plan, concurrent with other sessions on the same pool. Allocation-free
 // in steady state.
@@ -281,8 +283,8 @@ func (s *PoolSession) Execute() {
 	if s.closed.Load() || s.pool.closed.Load() {
 		panic("sched: Execute called after Close")
 	}
-	if s.tracer != nil {
-		s.tracer.BeginCycle()
+	if s.obs != nil {
+		s.obs.BeginCycle()
 	}
 	// Reset per-cycle state BEFORE publishing the new generation: a
 	// worker that observes the new generation therefore also observes
@@ -308,6 +310,11 @@ func (s *PoolSession) Execute() {
 		s.runClaimed(id, callerID, gen)
 	}
 	slot.state.Store(slotIdle)
+	// Every node's Record happened before its remaining decrement, so at
+	// this point the observer has seen the whole realization.
+	if s.obs != nil {
+		s.obs.EndCycle()
+	}
 }
 
 // help lets pool worker w run one claimable node of this session.
@@ -349,7 +356,7 @@ func (s *PoolSession) claim(gen uint64) (int32, bool) {
 // Execute caller cannot observe completion before the node's effects
 // (and successor releases) are published.
 func (s *PoolSession) runClaimed(id, w int32, gen uint64) {
-	s.exec(s.plan, s.tracer, id, w, gen)
+	s.exec(s.plan, s.obs, id, w, gen)
 	readied := false
 	for _, succ := range s.plan.Succs[id] {
 		if s.pending[succ].Add(-1) == 0 {

@@ -20,21 +20,21 @@ func TestPoolValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer p.Close()
-	if _, err := p.Attach(nil); err == nil {
+	if _, err := p.Attach(nil, Options{}); err == nil {
 		t.Fatal("nil plan accepted")
 	}
 	g, _ := graph.RandomDAG(graph.RandomSpec{Nodes: 5, EdgeProb: 0.2, Seed: 1})
 	plan, _ := g.Compile()
-	s, err := p.Attach(plan)
+	s, err := p.Attach(plan, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Attach(plan); err == nil {
+	if _, err := p.Attach(plan, Options{}); err == nil {
 		t.Fatal("attach beyond capacity accepted")
 	}
 	s.Close()
 	// Closing frees the slot for a new session.
-	s2, err := p.Attach(plan)
+	s2, err := p.Attach(plan, Options{})
 	if err != nil {
 		t.Fatalf("re-attach after Close: %v", err)
 	}
@@ -49,7 +49,7 @@ func TestPoolSessionSchedulerContract(t *testing.T) {
 	defer p.Close()
 	g, tr := graph.RandomDAG(graph.RandomSpec{Nodes: 30, EdgeProb: 0.2, Seed: 11})
 	plan, _ := g.Compile()
-	s, err := p.Attach(plan)
+	s, err := p.Attach(plan, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,13 +82,11 @@ func TestPoolSessionTracer(t *testing.T) {
 		t.Fatal(err)
 	}
 	plan, _ := g.Compile()
-	s, err := p.Attach(plan)
+	tr := NewTracer(plan.Len())
+	s, err := p.Attach(plan, Options{Observer: tr})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Close()
-	tr := NewTracer(plan.Len())
-	s.SetTracer(tr)
 	sess.Prepare()
 	s.Execute()
 	for i, e := range tr.Events() {
@@ -102,9 +100,16 @@ func TestPoolSessionTracer(t *testing.T) {
 	if tr.Makespan() <= 0 {
 		t.Fatal("no makespan")
 	}
-	s.SetTracer(nil)
+	// The observer is fixed at attach time; a fresh session on the freed
+	// slot runs unobserved.
+	s.Close()
+	s2, err := p.Attach(plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
 	sess.Prepare()
-	s.Execute() // untraced execution still works
+	s2.Execute()
 }
 
 // TestPoolConcurrentSessions is the acceptance test for shared-pool
@@ -133,7 +138,7 @@ func TestPoolConcurrentSessions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := p.Attach(plan)
+		s, err := p.Attach(plan, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,7 +174,7 @@ func TestPoolZeroWorkers(t *testing.T) {
 	defer p.Close()
 	g, tr := graph.RandomDAG(graph.RandomSpec{Nodes: 25, EdgeProb: 0.2, Seed: 21})
 	plan, _ := g.Compile()
-	s, err := p.Attach(plan)
+	s, err := p.Attach(plan, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +227,7 @@ func TestPoolMatchesSequentialAudio(t *testing.T) {
 		return sums
 	}
 
-	ref := run(func(p *graph.Plan) (Scheduler, error) { return NewSequential(p), nil })
+	ref := run(func(p *graph.Plan) (Scheduler, error) { return NewSequential(p, Options{}), nil })
 
 	pool, err := NewPool(3, 4)
 	if err != nil {
@@ -239,7 +244,7 @@ func TestPoolMatchesSequentialAudio(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := pool.Attach(plan)
+		s, err := pool.Attach(plan, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -259,7 +264,7 @@ func TestPoolMatchesSequentialAudio(t *testing.T) {
 		}(s, tr)
 	}
 
-	got := run(func(p *graph.Plan) (Scheduler, error) { return pool.Attach(p) })
+	got := run(func(p *graph.Plan) (Scheduler, error) { return pool.Attach(p, Options{}) })
 	close(stop)
 	wg.Wait()
 

@@ -22,14 +22,54 @@ import (
 	"djstar/internal/graph"
 )
 
+// Observer receives the schedule realization of every cycle: the
+// scheduler calls BeginCycle on the Execute caller before any worker is
+// released, Record from whichever worker ran each node, and EndCycle on
+// the Execute caller after the iteration completes. Record must be cheap,
+// allocation-free and safe for concurrent calls from distinct workers
+// (one node is recorded by exactly one worker per cycle). An Observer is
+// fixed at construction through Options; there is deliberately no way to
+// swap it mid-run.
+type Observer interface {
+	// BeginCycle marks the start of an iteration (Execute caller thread).
+	BeginCycle()
+	// Record stores one node's execution window. Start and end are
+	// NowNanos timestamps; worker identifies the executing worker.
+	Record(node, worker int32, start, end int64)
+	// EndCycle marks the end of the iteration (Execute caller thread,
+	// after every node has completed).
+	EndCycle()
+}
+
+// Options configure scheduler construction; the zero value means
+// "1 thread, no observer, default work-stealing configuration".
+type Options struct {
+	// Threads is the worker count for parallel strategies (the Execute
+	// caller participates as one of them). Ignored by NewSequential and
+	// Pool.Attach (a pool session's parallelism is the pool's).
+	Threads int
+	// Observer, when non-nil, receives every cycle's schedule
+	// realization. Must not be a typed nil pointer.
+	Observer Observer
+	// WS tunes the work-stealing strategy (ignored by the others).
+	WS WSOptions
+}
+
+// withDefaults normalizes an Options value.
+func (o Options) withDefaults() Options {
+	if o.Threads == 0 {
+		o.Threads = 1
+	}
+	return o
+}
+
 // Scheduler executes a compiled task graph, one full iteration per
 // Execute call. Implementations are not safe for concurrent Execute
 // calls; the audio engine serializes cycles by construction.
 //
 // All implementations share one lifecycle contract, enforced by the
 // conformance tests: Close is idempotent, Execute panics after Close,
-// and SetTracer(nil) between cycles removes tracing without disturbing
-// execution.
+// and the construction-time Observer (if any) sees every cycle.
 type Scheduler interface {
 	// Name returns the strategy identifier ("seq", "busy", "sleep", "ws",
 	// "sleepscan", "static", "pool").
@@ -39,9 +79,6 @@ type Scheduler interface {
 	// Execute runs every node of the plan exactly once, respecting
 	// dependencies, and returns when the iteration is complete.
 	Execute()
-	// SetTracer installs (or removes, with nil) a schedule tracer that
-	// records per-node start/end times and worker assignment.
-	SetTracer(t *Tracer)
 	// Close shuts down the worker pool. Close is idempotent; the
 	// scheduler must not be used afterwards (Execute panics).
 	Close()
@@ -99,23 +136,24 @@ var AllStrategies = []string{
 // round-robin assignment of the queue order (use NewStatic directly to
 // supply a computed schedule); NamePool sessions need a shared Pool and
 // are built with NewPool + Pool.Attach instead.
-func New(name string, p *graph.Plan, threads int) (Scheduler, error) {
+func New(name string, p *graph.Plan, o Options) (Scheduler, error) {
+	o = o.withDefaults()
 	switch name {
 	case NameSequential:
-		return NewSequential(p), nil
+		return NewSequential(p, o), nil
 	case NameBusyWait:
-		return NewBusyWait(p, threads)
+		return NewBusyWait(p, o)
 	case NameSleep:
-		return NewSleep(p, threads)
+		return NewSleep(p, o)
 	case NameWorkSteal:
-		return NewWorkSteal(p, threads)
+		return NewWorkSteal(p, o)
 	case NameSleepScan:
-		return NewSleepScan(p, threads)
+		return NewSleepScan(p, o)
 	case NameStatic:
-		if err := checkThreads(p, threads); err != nil {
+		if err := checkThreads(p, o.Threads); err != nil {
 			return nil, err
 		}
-		return NewStatic(p, roundRobinLists(p, threads))
+		return NewStatic(p, roundRobinLists(p, o.Threads), o)
 	default:
 		return nil, fmt.Errorf("sched: unknown strategy %q (want one of %v)",
 			name, AllStrategies)
@@ -155,6 +193,11 @@ func spinWait(cond func() bool) {
 // nowNanos returns a monotonic timestamp in nanoseconds.
 func nowNanos() int64 { return int64(time.Since(timeBase)) }
 
+// NowNanos exposes the scheduler clock: the monotonic timestamp base all
+// Observer.Record start/end values are measured on. Observers that need
+// to relate node windows to a cycle epoch of their own read this clock.
+func NowNanos() int64 { return nowNanos() }
+
 var timeBase = time.Now()
 
 // TraceEvent is one node execution recorded by a Tracer.
@@ -167,6 +210,8 @@ type TraceEvent struct {
 
 // Tracer captures one iteration's schedule realization (paper Fig. 11).
 // It is preallocated for the plan size and allocation-free while tracing.
+// Tracer implements Observer; install it at construction through
+// Options{Observer: tr}.
 type Tracer struct {
 	events []TraceEvent
 	base   int64
@@ -195,6 +240,9 @@ func (t *Tracer) Record(node, worker int32, start, end int64) {
 	}
 }
 
+// EndCycle implements Observer; a Tracer has no end-of-cycle work.
+func (t *Tracer) EndCycle() {}
+
 // Events returns the recorded events indexed by node ID. Entries with
 // Worker == -1 did not execute (only possible on a partial trace).
 func (t *Tracer) Events() []TraceEvent { return t.events }
@@ -210,14 +258,14 @@ func (t *Tracer) Makespan() int64 {
 	return m
 }
 
-// runNode executes node id on worker w, recording a trace event when a
-// tracer is installed. Shared by all strategies.
-func runNode(p *graph.Plan, tr *Tracer, id, w int32) {
-	if tr == nil {
+// runNode executes node id on worker w, recording its window when an
+// observer is installed. Shared by all strategies.
+func runNode(p *graph.Plan, o Observer, id, w int32) {
+	if o == nil {
 		p.Run[id]()
 		return
 	}
 	start := nowNanos()
 	p.Run[id]()
-	tr.Record(id, w, start, nowNanos())
+	o.Record(id, w, start, nowNanos())
 }

@@ -17,7 +17,7 @@ func newEach(t *testing.T, p *graph.Plan, threads int) []Scheduler {
 		if name == NameSequential {
 			th = 1
 		}
-		s, err := New(name, p, th)
+		s, err := New(name, p, Options{Threads: th})
 		if err != nil {
 			t.Fatalf("New(%q): %v", name, err)
 		}
@@ -29,7 +29,7 @@ func newEach(t *testing.T, p *graph.Plan, threads int) []Scheduler {
 func TestFactoryRejectsUnknown(t *testing.T) {
 	g, _ := graph.RandomDAG(graph.RandomSpec{Nodes: 3, Seed: 1})
 	p, _ := g.Compile()
-	if _, err := New("bogus", p, 2); err == nil {
+	if _, err := New("bogus", p, Options{Threads: 2}); err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
 }
@@ -38,14 +38,14 @@ func TestThreadValidation(t *testing.T) {
 	g, _ := graph.RandomDAG(graph.RandomSpec{Nodes: 3, Seed: 1})
 	p, _ := g.Compile()
 	for _, name := range []string{NameBusyWait, NameSleep, NameWorkSteal} {
-		if _, err := New(name, p, 0); err == nil {
-			t.Fatalf("%s accepted 0 threads", name)
+		if _, err := New(name, p, Options{Threads: -1}); err == nil {
+			t.Fatalf("%s accepted negative threads", name)
 		}
-		if _, err := New(name, p, 99); err == nil {
+		if _, err := New(name, p, Options{Threads: 99}); err == nil {
 			t.Fatalf("%s accepted more threads than nodes", name)
 		}
 	}
-	if _, err := NewBusyWait(nil, 1); err == nil {
+	if _, err := NewBusyWait(nil, Options{Threads: 1}); err == nil {
 		t.Fatal("nil plan accepted")
 	}
 }
@@ -90,7 +90,7 @@ func TestAllStrategiesRespectDependencies(t *testing.T) {
 				if name == NameSequential {
 					th = 1
 				}
-				s, err := New(name, p, th)
+				s, err := New(name, p, Options{Threads: th})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -127,7 +127,7 @@ func TestDJStarGraphAllStrategies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := New(name, p, threads)
+		s, err := New(name, p, Options{Threads: threads})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +178,7 @@ func TestWorkStealVariants(t *testing.T) {
 		{LockedDeque: true},
 		{RoundRobinInit: true, LockedDeque: true},
 	} {
-		s, err := NewWorkStealOpts(p, 4, opts)
+		s, err := NewWorkSteal(p, Options{Threads: 4, WS: opts})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,7 +210,7 @@ func TestWorkStealCounters(t *testing.T) {
 		prev = id
 	}
 	p, _ := g.Compile()
-	s, err := NewWorkSteal(p, 4)
+	s, err := NewWorkSteal(p, Options{Threads: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,12 +241,11 @@ func TestTracerRecordsFullSchedule(t *testing.T) {
 		if name == NameSequential {
 			threads = 1
 		}
-		s, err := New(name, p, threads)
+		tr := NewTracer(p.Len())
+		s, err := New(name, p, Options{Threads: threads, Observer: tr})
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr := NewTracer(p.Len())
-		s.SetTracer(tr)
 		sess.Prepare()
 		s.Execute()
 		events := tr.Events()
@@ -274,8 +273,6 @@ func TestTracerRecordsFullSchedule(t *testing.T) {
 		if tr.Makespan() <= 0 {
 			t.Fatalf("%s: makespan %d", name, tr.Makespan())
 		}
-		s.SetTracer(nil)
-		s.Execute() // untraced execution still works
 		s.Close()
 	}
 }
@@ -286,7 +283,7 @@ func TestSchedulersReusableAfterManyCycles(t *testing.T) {
 	g, tr := graph.RandomDAG(graph.RandomSpec{Nodes: 30, EdgeProb: 0.2, Seed: 3})
 	p, _ := g.Compile()
 	for _, name := range []string{NameBusyWait, NameSleep, NameWorkSteal} {
-		s, err := New(name, p, 4)
+		s, err := New(name, p, Options{Threads: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -306,7 +303,7 @@ func TestSingleThreadParallelStrategies(t *testing.T) {
 	g, tr := graph.RandomDAG(graph.RandomSpec{Nodes: 25, EdgeProb: 0.25, Seed: 9})
 	p, _ := g.Compile()
 	for _, name := range []string{NameBusyWait, NameSleep, NameWorkSteal} {
-		s, err := New(name, p, 1)
+		s, err := New(name, p, Options{Threads: 1})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -15,14 +15,15 @@ type Sequential struct {
 	*faultState
 
 	plan   *graph.Plan
-	tracer *Tracer
+	obs    Observer
 	gen    uint64
 	closed bool
 }
 
-// NewSequential returns the sequential baseline executor.
-func NewSequential(p *graph.Plan) *Sequential {
-	return &Sequential{faultState: newFaultState(p, 1), plan: p}
+// NewSequential returns the sequential baseline executor. Only
+// o.Observer is honoured (a sequential run has exactly one worker).
+func NewSequential(p *graph.Plan, o Options) *Sequential {
+	return &Sequential{faultState: newFaultState(p, 1), plan: p, obs: o.Observer}
 }
 
 // Name implements Scheduler.
@@ -31,20 +32,20 @@ func (s *Sequential) Name() string { return NameSequential }
 // Threads implements Scheduler.
 func (s *Sequential) Threads() int { return 1 }
 
-// SetTracer implements Scheduler.
-func (s *Sequential) SetTracer(t *Tracer) { s.tracer = t }
-
 // Execute implements Scheduler.
 func (s *Sequential) Execute() {
 	if s.closed {
 		panic("sched: Execute called after Close")
 	}
-	if s.tracer != nil {
-		s.tracer.BeginCycle()
+	if s.obs != nil {
+		s.obs.BeginCycle()
 	}
 	s.gen++
 	for _, id := range s.plan.Order {
-		s.exec(s.plan, s.tracer, id, 0, s.gen)
+		s.exec(s.plan, s.obs, id, 0, s.gen)
+	}
+	if s.obs != nil {
+		s.obs.EndCycle()
 	}
 }
 

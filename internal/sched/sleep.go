@@ -24,12 +24,13 @@ type Sleep struct {
 // NewSleep returns a thread-sleeping scheduler. The calling goroutine is
 // worker 0; threads-1 persistent workers are started immediately and
 // sleep between cycles.
-func NewSleep(p *graph.Plan, threads int) (*Sleep, error) {
-	if err := checkThreads(p, threads); err != nil {
+func NewSleep(p *graph.Plan, o Options) (*Sleep, error) {
+	o = o.withDefaults()
+	if err := checkThreads(p, o.Threads); err != nil {
 		return nil, err
 	}
-	pol := newSleepPolicy(p, threads)
-	return &Sleep{core: newCore(p, threads, pol, waitBlock)}, nil
+	pol := newSleepPolicy(p, o.Threads)
+	return &Sleep{core: newCore(p, o.Threads, o.Observer, pol, waitBlock)}, nil
 }
 
 // sleepPolicy runs round-robin node lists with the register-then-sleep
@@ -67,7 +68,7 @@ func (pol *sleepPolicy) beginCycle(c *core) { c.resetPending() }
 
 // runCycle executes worker w's nodes, sleeping on open dependencies.
 func (pol *sleepPolicy) runCycle(c *core, w int32, gen uint64) {
-	tr := c.tracer
+	obs := c.obs
 	for _, id := range pol.lists[w] {
 		// Register-then-recheck avoids the lost-wakeup race: either the
 		// final predecessor sees our registration and sends a token, or
@@ -80,7 +81,7 @@ func (pol *sleepPolicy) runCycle(c *core, w int32, gen uint64) {
 				<-pol.wake[w]
 			}
 		}
-		c.exec(c.plan, tr, id, w, gen)
+		c.exec(c.plan, obs, id, w, gen)
 		// Notify successors; wake the executor of any that became ready.
 		for _, succ := range c.plan.Succs[id] {
 			if c.pending[succ].Add(-1) == 0 {

@@ -21,16 +21,17 @@ type SleepScan struct {
 const NameSleepScan = "sleepscan"
 
 // NewSleepScan returns the scanning sleep scheduler.
-func NewSleepScan(p *graph.Plan, threads int) (*SleepScan, error) {
-	if err := checkThreads(p, threads); err != nil {
+func NewSleepScan(p *graph.Plan, o Options) (*SleepScan, error) {
+	o = o.withDefaults()
+	if err := checkThreads(p, o.Threads); err != nil {
 		return nil, err
 	}
-	pol := &sleepScanPolicy{sleepPolicy: newSleepPolicy(p, threads)}
-	pol.ran = make([][]bool, threads)
-	for w := 0; w < threads; w++ {
+	pol := &sleepScanPolicy{sleepPolicy: newSleepPolicy(p, o.Threads)}
+	pol.ran = make([][]bool, o.Threads)
+	for w := 0; w < o.Threads; w++ {
 		pol.ran[w] = make([]bool, len(pol.lists[w]))
 	}
-	return &SleepScan{core: newCore(p, threads, pol, waitBlock)}, nil
+	return &SleepScan{core: newCore(p, o.Threads, o.Observer, pol, waitBlock)}, nil
 }
 
 // sleepScanPolicy extends sleepPolicy with the scan-before-sleeping
@@ -92,7 +93,7 @@ func (pol *sleepScanPolicy) runCycle(c *core, w int32, gen uint64) {
 
 // execute runs a node and resolves successors, waking sleepers.
 func (pol *sleepScanPolicy) execute(c *core, id, w int32, gen uint64) {
-	c.exec(c.plan, c.tracer, id, w, gen)
+	c.exec(c.plan, c.obs, id, w, gen)
 	for _, succ := range c.plan.Succs[id] {
 		if c.pending[succ].Add(-1) == 0 {
 			if e := pol.executor[succ].Load(); e != 0 {

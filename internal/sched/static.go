@@ -34,7 +34,7 @@ const NameStatic = "static"
 // wait on each other's *later* nodes would deadlock, so lists must be
 // consistent with some global topological order; assignments derived from
 // a schedule, e.g. rescon.Result, always are).
-func NewStatic(p *graph.Plan, lists [][]int32) (*Static, error) {
+func NewStatic(p *graph.Plan, lists [][]int32, o Options) (*Static, error) {
 	if p == nil || p.Len() == 0 {
 		return nil, fmt.Errorf("sched: empty plan")
 	}
@@ -59,7 +59,7 @@ func NewStatic(p *graph.Plan, lists [][]int32) (*Static, error) {
 		return nil, fmt.Errorf("sched: static schedule covers %d of %d nodes", count, p.Len())
 	}
 	pol := &listSpinPolicy{strategy: NameStatic, lists: lists}
-	return &Static{core: newCore(p, len(lists), pol, waitSpin)}, nil
+	return &Static{core: newCore(p, len(lists), o.Observer, pol, waitSpin)}, nil
 }
 
 // FromScheduleOrder builds per-worker lists from a processor assignment

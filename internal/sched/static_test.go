@@ -10,19 +10,19 @@ func TestStaticValidation(t *testing.T) {
 	g, _ := graph.RandomDAG(graph.RandomSpec{Nodes: 5, EdgeProb: 0.2, Seed: 1})
 	p, _ := g.Compile()
 
-	if _, err := NewStatic(nil, [][]int32{{0}}); err == nil {
+	if _, err := NewStatic(nil, [][]int32{{0}}, Options{}); err == nil {
 		t.Fatal("nil plan accepted")
 	}
-	if _, err := NewStatic(p, nil); err == nil {
+	if _, err := NewStatic(p, nil, Options{}); err == nil {
 		t.Fatal("no lists accepted")
 	}
-	if _, err := NewStatic(p, [][]int32{{0, 1, 2}}); err == nil {
+	if _, err := NewStatic(p, [][]int32{{0, 1, 2}}, Options{}); err == nil {
 		t.Fatal("incomplete coverage accepted")
 	}
-	if _, err := NewStatic(p, [][]int32{{0, 1, 2, 3, 3}}); err == nil {
+	if _, err := NewStatic(p, [][]int32{{0, 1, 2, 3, 3}}, Options{}); err == nil {
 		t.Fatal("duplicate assignment accepted")
 	}
-	if _, err := NewStatic(p, [][]int32{{0, 1, 2, 3, 99}}); err == nil {
+	if _, err := NewStatic(p, [][]int32{{0, 1, 2, 3, 99}}, Options{}); err == nil {
 		t.Fatal("out-of-range node accepted")
 	}
 }
@@ -32,7 +32,7 @@ func TestStaticExecutesQueueSplit(t *testing.T) {
 	p, _ := g.Compile()
 	// A round-robin split of the queue order is a valid static schedule.
 	lists := roundRobinLists(p, 4)
-	s, err := NewStatic(p, lists)
+	s, err := NewStatic(p, lists, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,13 +52,12 @@ func TestStaticExecutesQueueSplit(t *testing.T) {
 func TestStaticWithTracer(t *testing.T) {
 	g, trace := graph.RandomDAG(graph.RandomSpec{Nodes: 20, EdgeProb: 0.2, Seed: 8})
 	p, _ := g.Compile()
-	s, err := NewStatic(p, roundRobinLists(p, 2))
+	tr := NewTracer(p.Len())
+	s, err := NewStatic(p, roundRobinLists(p, 2), Options{Observer: tr})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	tr := NewTracer(p.Len())
-	s.SetTracer(tr)
 	trace.Reset()
 	s.Execute()
 	for i, e := range tr.Events() {
@@ -87,7 +86,7 @@ func TestFromScheduleOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewStatic(p, lists)
+	s, err := NewStatic(p, lists, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

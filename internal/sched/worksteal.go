@@ -38,33 +38,29 @@ type WorkSteal struct {
 	pol *wsPolicy
 }
 
-// NewWorkSteal returns a work-stealing scheduler with the paper's
-// configuration.
-func NewWorkSteal(p *graph.Plan, threads int) (*WorkSteal, error) {
-	return NewWorkStealOpts(p, threads, WSOptions{})
-}
-
-// NewWorkStealOpts returns a work-stealing scheduler with explicit
-// options.
-func NewWorkStealOpts(p *graph.Plan, threads int, opts WSOptions) (*WorkSteal, error) {
-	if err := checkThreads(p, threads); err != nil {
+// NewWorkSteal returns a work-stealing scheduler; o.WS selects the
+// design-choice variants (zero value = the paper's configuration).
+func NewWorkSteal(p *graph.Plan, o Options) (*WorkSteal, error) {
+	o = o.withDefaults()
+	if err := checkThreads(p, o.Threads); err != nil {
 		return nil, err
 	}
+	threads := o.Threads
 	pol := &wsPolicy{
 		threads: threads,
-		opts:    opts,
+		opts:    o.WS,
 		deques:  make([]dequeIface, threads),
 	}
 	pol.cond = sync.NewCond(&pol.mu)
 	for w := 0; w < threads; w++ {
-		if opts.LockedDeque {
+		if o.WS.LockedDeque {
 			pol.deques[w] = NewLockedDeque(p.Len() + 1)
 		} else {
 			pol.deques[w] = NewDeque(p.Len() + 1)
 		}
 	}
-	pol.initial = initialSources(p, threads, opts.RoundRobinInit)
-	return &WorkSteal{core: newCore(p, threads, pol, waitBlock), pol: pol}, nil
+	pol.initial = initialSources(p, threads, o.WS.RoundRobinInit)
+	return &WorkSteal{core: newCore(p, threads, o.Observer, pol, waitBlock), pol: pol}, nil
 }
 
 // initialSources assigns the dependency-free nodes to workers. With
@@ -167,7 +163,7 @@ func (pol *wsPolicy) runCycle(c *core, w int32, gen uint64) {
 
 // execute runs node id and resolves its successors.
 func (pol *wsPolicy) execute(c *core, id, w int32, gen uint64) {
-	c.exec(c.plan, c.tracer, id, w, gen)
+	c.exec(c.plan, c.obs, id, w, gen)
 	pushed := false
 	for _, succ := range c.plan.Succs[id] {
 		if c.pending[succ].Add(-1) == 0 {

@@ -39,6 +39,10 @@ type Model struct {
 	faults    int    // fault events seen
 	lastFault string // most recent faulted node
 	degrade   string // most recent governor transition "from→to"
+
+	// Gantt panel state: the latest sampled schedule realization.
+	trace    middleware.ScheduleTrace
+	hasTrace bool
 }
 
 // NewModel returns a view model for the given deck count.
@@ -78,6 +82,9 @@ func (m *Model) Apply(ev middleware.Event) {
 		m.lastFault = p.Node
 	case middleware.DegradeEvent:
 		m.degrade = p.From + "→" + p.To
+	case middleware.ScheduleTrace:
+		m.trace = p
+		m.hasTrace = true
 	default:
 		if ev.Topic == middleware.TopicControl {
 			m.ctrl = fmt.Sprint(ev.Payload)
@@ -140,6 +147,43 @@ func (m *Model) Render(width int) string {
 	if h := m.healthLine(); h != "" {
 		fmt.Fprintf(&b, "health %s\n", h)
 	}
+	if g := m.ganttPanel(width); g != "" {
+		b.WriteString(g)
+	}
+	return b.String()
+}
+
+// ganttPanel renders the latest sampled schedule realization as a text
+// Gantt chart, one track per worker — the live counterpart of the
+// paper's Fig. 11. Empty until a trace event arrives.
+func (m *Model) ganttPanel(width int) string {
+	if !m.hasTrace || m.trace.Workers <= 0 || m.trace.MakespanUS <= 0 {
+		return ""
+	}
+	t := &m.trace
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule (cycle %d, %.0f µs makespan)\n", t.Cycle, t.MakespanUS)
+	scale := float64(width) / t.MakespanUS
+	for w := 0; w < t.Workers; w++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, n := range t.Nodes {
+			if n.Worker != w || len(n.Name) == 0 {
+				continue
+			}
+			lo := int(n.StartUS * scale)
+			hi := int(n.EndUS * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi && i >= 0; i++ {
+				row[i] = n.Name[0]
+			}
+		}
+		fmt.Fprintf(&b, "  w%d |%s|\n", w, row)
+	}
 	return b.String()
 }
 
@@ -164,6 +208,15 @@ func (m *Model) healthLine() string {
 		parts = append(parts, fmt.Sprintf("faults %d (last %s)", m.faults, m.lastFault))
 	}
 	if m.hasHealth {
+		if m.health.APCMeanMS > 0 {
+			parts = append(parts, fmt.Sprintf("apc %.2fms graph %.2fms", m.health.APCMeanMS, m.health.GraphMeanMS))
+		}
+		if m.health.MissRate > 0 {
+			parts = append(parts, fmt.Sprintf("miss %.2f%%", 100*m.health.MissRate))
+		}
+		if m.health.CritPathUS > 0 {
+			parts = append(parts, fmt.Sprintf("cp %.0fµs ∥%.2f", m.health.CritPathUS, m.health.Parallelism))
+		}
 		if len(m.health.Quarantined) > 0 {
 			parts = append(parts, "quarantined "+strings.Join(m.health.Quarantined, ","))
 		}

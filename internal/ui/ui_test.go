@@ -140,3 +140,54 @@ func TestHealthPanel(t *testing.T) {
 		}
 	}
 }
+
+func TestGanttPanel(t *testing.T) {
+	m := NewModel(2)
+	if strings.Contains(m.Render(40), "schedule") {
+		t.Fatal("model without trace should render no gantt panel")
+	}
+	m.Apply(middleware.Event{Topic: middleware.TopicTrace, Payload: middleware.ScheduleTrace{
+		Cycle:      96,
+		Workers:    2,
+		MakespanUS: 100,
+		Nodes: []middleware.TraceNode{
+			{Name: "alpha", Worker: 0, StartUS: 0, EndUS: 50},
+			{Name: "beta", Worker: 1, StartUS: 10, EndUS: 90},
+			{Name: "gamma", Worker: 0, StartUS: 60, EndUS: 100},
+		},
+	}})
+	out := m.Render(40)
+	for _, want := range []string{"schedule (cycle 96, 100 µs makespan)", "w0 |", "w1 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Worker 0's track shows alpha then gamma; worker 1's shows beta.
+	lines := strings.Split(out, "\n")
+	var w0, w1 string
+	for _, l := range lines {
+		if strings.Contains(l, "w0 |") {
+			w0 = l
+		}
+		if strings.Contains(l, "w1 |") {
+			w1 = l
+		}
+	}
+	if !strings.Contains(w0, "a") || !strings.Contains(w0, "g") {
+		t.Fatalf("w0 track missing alpha/gamma bars: %q", w0)
+	}
+	if !strings.Contains(w1, "b") || strings.Contains(w1, "a") {
+		t.Fatalf("w1 track wrong: %q", w1)
+	}
+	// Health line picks up the snapshot-derived fields.
+	m.Apply(middleware.Event{Topic: middleware.TopicHealth, Payload: middleware.HealthReport{
+		Level: "normal", APCMeanMS: 1.23, GraphMeanMS: 0.45,
+		MissRate: 0.015, CritPathUS: 295, Parallelism: 2.5,
+	}})
+	out = m.Render(40)
+	for _, want := range []string{"apc 1.23ms graph 0.45ms", "miss 1.50%", "cp 295µs ∥2.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("health line missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# check_obs_overhead.sh — CI gate for the observability collector's cost.
+#
+# Runs BenchmarkObsOverhead (the same APC cycle with the collector at the
+# default sampling rate vs fully disabled), computes the on/off ns-per-op
+# ratio, and fails when it regresses more than 5 percentage points over
+# the checked-in baseline (scripts/obs_overhead_baseline.txt).
+#
+# Usage:
+#   scripts/check_obs_overhead.sh            # gate against the baseline
+#   scripts/check_obs_overhead.sh -update    # rewrite the baseline
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline_file=scripts/obs_overhead_baseline.txt
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+# -count 3: the gate uses the per-variant minimum, which strips scheduler
+# and frequency noise better than a mean on shared CI runners.
+go test -run '^$' -bench 'BenchmarkObsOverhead' -benchtime 200x -count 3 . | tee "$out"
+
+ratio=$(awk '
+	/BenchmarkObsOverhead\/obs=on/  { if (!on  || $3 < on)  on  = $3 }
+	/BenchmarkObsOverhead\/obs=off/ { if (!off || $3 < off) off = $3 }
+	END {
+		if (!on || !off) { print "parse-error"; exit }
+		printf "%.4f", on / off
+	}' "$out")
+
+if [ "$ratio" = "parse-error" ]; then
+	echo "check_obs_overhead: could not parse benchmark output" >&2
+	exit 2
+fi
+echo "obs on/off ratio: $ratio"
+
+if [ "${1:-}" = "-update" ]; then
+	printf '%s\n' "$ratio" >"$baseline_file"
+	echo "baseline updated: $baseline_file"
+	exit 0
+fi
+
+baseline=$(cat "$baseline_file")
+awk -v r="$ratio" -v b="$baseline" 'BEGIN {
+	limit = b + 0.05
+	printf "baseline %.4f, limit %.4f\n", b, limit
+	if (r > limit) {
+		printf "FAIL: observability overhead ratio %.4f exceeds baseline %.4f by more than 5%%\n", r, b
+		exit 1
+	}
+	print "OK: within 5% of baseline"
+}'
