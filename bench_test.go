@@ -190,18 +190,22 @@ func BenchmarkFig11(b *testing.B) {
 	}
 }
 
-// BenchmarkObsOverhead measures the same busy-wait APC cycle with the
-// observability collector at the default sampling rate and with it
-// disabled. CI compares the with/without ratio against a checked-in
-// baseline (scripts/check_obs_overhead.sh) — the collector's contract is
-// that always-on observability stays within noise of free.
+// BenchmarkObsOverhead measures the same busy-wait APC cycle with each
+// always-on instrumentation layer A/B'd against the full default:
+// obs=on is the production configuration (observability collector AND
+// telemetry collector live), obs=off removes only the obs collector,
+// tel=off removes only the telemetry collector. CI compares both
+// on/off ratios against checked-in baselines
+// (scripts/check_obs_overhead.sh) — the contract is that always-on
+// instrumentation stays within noise of free.
 func BenchmarkObsOverhead(b *testing.B) {
-	run := func(b *testing.B, disable bool) {
+	run := func(b *testing.B, obsOff, telOff bool) {
 		e, err := engine.New(engine.Config{
-			Graph:    benchGraphConfig(),
-			Strategy: sched.NameBusyWait,
-			Threads:  4,
-			Obs:      engine.ObsOptions{Disable: disable},
+			Graph:     benchGraphConfig(),
+			Strategy:  sched.NameBusyWait,
+			Threads:   4,
+			Obs:       engine.ObsOptions{Disable: obsOff},
+			Telemetry: engine.TelemetryOptions{Disable: telOff},
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -216,8 +220,9 @@ func BenchmarkObsOverhead(b *testing.B) {
 			e.Cycle(nil)
 		}
 	}
-	b.Run("obs=on", func(b *testing.B) { run(b, false) })
-	b.Run("obs=off", func(b *testing.B) { run(b, true) })
+	b.Run("obs=on", func(b *testing.B) { run(b, false, false) })
+	b.Run("obs=off", func(b *testing.B) { run(b, true, false) })
+	b.Run("tel=off", func(b *testing.B) { run(b, false, true) })
 }
 
 // BenchmarkFig12 measures the BUSY/SLEEP strategy simulations of Fig. 12.

@@ -10,11 +10,19 @@
 //	djanalyze set.wav other.wav     # analyze 16-bit stereo 44.1 kHz WAVs
 //	djanalyze -bars 32 -waveform    # longer tracks, draw waveforms
 //	djanalyze -graph                # task-graph critical-path analysis
+//	djanalyze -incident i.json      # replay a flight-recorder bundle
 //
 // With -graph it instead profiles the live task graph: per-node mean
 // durations (measured sequentially), the critical path and RESCON bound
 // they imply, and each parallel strategy's measured makespan against that
 // bound — the offline counterpart of djstar's /api/critpath.
+//
+// With -incident it loads a flight-recorder bundle (djstar -incident-dir)
+// and replays its analysis offline: the bundle's graph structure and node
+// means are fed through the same critical-path computation the live
+// engine used, and the result is checked against the bundle's own
+// recorded path — a self-consistency proof that the incident is
+// reproducible without the process that captured it.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"djstar/internal/audio"
 	"djstar/internal/engine"
@@ -32,6 +41,7 @@ import (
 	"djstar/internal/sched"
 	"djstar/internal/stats"
 	"djstar/internal/synth"
+	"djstar/internal/telemetry"
 )
 
 func main() {
@@ -43,9 +53,16 @@ func main() {
 		cycles    = flag.Int("cycles", 2000, "measurement cycles for -graph")
 		scale     = flag.Float64("scale", 0.2, "node cost scale for -graph")
 		threads   = flag.Int("threads", 4, "threads for -graph strategy runs")
+		incident  = flag.String("incident", "", "replay this flight-recorder incident bundle")
 	)
 	flag.Parse()
 
+	if *incident != "" {
+		if err := analyzeIncident(*incident); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *graphMode {
 		if err := analyzeGraph(*cycles, *scale, *threads); err != nil {
 			fatal(err)
@@ -164,6 +181,76 @@ func analyzeGraph(cycles int, scale float64, threads int) error {
 	}
 	fmt.Print(stats.RenderTable(
 		[]string{"strategy", "measured µs", "critpath µs", "bound µs", "efficiency"}, rows))
+	return nil
+}
+
+// analyzeIncident loads an incident bundle and replays its analysis: the
+// reason, identity and SLO state; the retained events, traces and time
+// series; and the critical path recomputed offline from the bundled
+// graph structure + node means, verified against the path the live
+// engine recorded into the bundle.
+func analyzeIncident(path string) error {
+	inc, err := telemetry.LoadIncident(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("incident: %s at cycle %d (%s)\n", inc.Reason, inc.Cycle,
+		time.Unix(0, inc.UnixNanos).Format(time.RFC3339))
+	fmt.Printf("engine: strategy %s, %d threads, session %q\n\n",
+		inc.Strategy, inc.Threads, inc.Session)
+
+	s := inc.SLO
+	fmt.Printf("SLO: %d/%d misses in window (budget %.1f, %.0f%% remaining",
+		s.WindowMisses, s.WindowFilled, s.AllowedMisses, 100*s.BudgetRemaining)
+	if s.Exhausted {
+		fmt.Printf(", EXHAUSTED")
+	}
+	fmt.Printf(")\n")
+	fmt.Printf("totals: %d cycles, %d misses, %d faults, %d quarantines, %d stalls, gov level %d\n\n",
+		inc.Totals.Cycles, inc.Totals.DeadlineMisses, inc.Totals.Faults,
+		inc.Totals.Quarantines, inc.Totals.Stalls, inc.Totals.GovLevel)
+
+	if len(inc.Events) > 0 {
+		fmt.Printf("events (%d retained):\n", len(inc.Events))
+		for _, ev := range inc.Events {
+			if ev.Detail != "" {
+				fmt.Printf("  cycle %8d  %-16s %s\n", ev.Cycle, ev.Kind, ev.Detail)
+			} else {
+				fmt.Printf("  cycle %8d  %s\n", ev.Cycle, ev.Kind)
+			}
+		}
+		fmt.Println()
+	}
+	if len(inc.Traces) > 0 {
+		fmt.Printf("retained schedule realizations: %d (last makespan %.1f µs over %d workers)\n\n",
+			len(inc.Traces),
+			float64(inc.Traces[len(inc.Traces)-1].MakespanNS())/1e3,
+			inc.Traces[len(inc.Traces)-1].Workers)
+	}
+	if n := len(inc.Series); n > 0 {
+		var cyc, miss uint64
+		for _, slot := range inc.Series {
+			cyc += slot.Cycles
+			miss += slot.Misses
+		}
+		fmt.Printf("time series: %d s bundled, %d cycles, %d misses\n\n", n, cyc, miss)
+	}
+
+	ps, err := inc.Replay()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed critical path (%d nodes, %.1f µs):\n  %s\n",
+		len(ps.Nodes), ps.LengthUS, ps.String())
+	if inc.CritPath == nil {
+		fmt.Println("bundle carries no live critical path to verify against")
+		return nil
+	}
+	if ps.LengthUS != inc.CritPath.LengthUS || len(ps.Nodes) != len(inc.CritPath.Nodes) {
+		return fmt.Errorf("replay mismatch: offline path %.3f µs / %d nodes, live path %.3f µs / %d nodes — bundle is inconsistent",
+			ps.LengthUS, len(ps.Nodes), inc.CritPath.LengthUS, len(inc.CritPath.Nodes))
+	}
+	fmt.Println("replay matches the live engine's recorded critical path ✓")
 	return nil
 }
 

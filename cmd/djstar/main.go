@@ -31,6 +31,7 @@ import (
 	"djstar/internal/obs"
 	"djstar/internal/sched"
 	"djstar/internal/settings"
+	"djstar/internal/telemetry"
 )
 
 func main() {
@@ -49,7 +50,9 @@ func main() {
 		loadSet  = flag.String("settings", "", "load mixer/deck settings from this JSON file")
 		saveSet  = flag.String("save-settings", "", "save the final settings to this JSON file")
 		traceOut = flag.String("trace", "", "write sampled schedule realizations to this file as Chrome trace JSON (load in chrome://tracing or ui.perfetto.dev)")
-		httpAddr = flag.String("http", "", `serve live observability on this address (e.g. ":6060"): /debug/pprof/, /api/snapshot, /api/critpath, /api/trace`)
+		httpAddr = flag.String("http", "", `serve live observability on this address (e.g. ":6060"): /debug/pprof/, /api/snapshot, /api/critpath, /api/trace, /metrics, /api/slo`)
+		metrics  = flag.String("metrics", "", `serve just the telemetry endpoint on this address (e.g. ":9090"): /metrics (OpenMetrics), /api/slo`)
+		incDir   = flag.String("incident-dir", "", "write flight-recorder incident bundles to this directory (replay with djanalyze -incident)")
 	)
 	flag.Parse()
 
@@ -73,6 +76,12 @@ func main() {
 		DVS:            *dvs,
 		CollectSamples: false,
 		Watchdog:       *watchdog,
+		Telemetry: engine.TelemetryOptions{
+			IncidentDir: *incDir,
+			OnIncident: func(path string, inc *telemetry.Incident) {
+				fmt.Fprintf(os.Stderr, "INCIDENT %s: bundle written to %s\n", inc.Reason, path)
+			},
+		},
 		Hooks: engine.Hooks{
 			OnFault: func(r sched.FaultRecord) {
 				q := ""
@@ -131,7 +140,25 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("live observability on http://%s (pprof, /api/snapshot, /api/critpath, /api/trace)\n", srv.Addr())
+		fmt.Printf("live observability on http://%s (pprof, /api/snapshot, /api/critpath, /api/trace, /metrics, /api/slo)\n", srv.Addr())
+	}
+
+	if *metrics != "" {
+		// The standalone telemetry endpoint covers every session under
+		// -sessions; the debug server above stays per-engine.
+		var reg *telemetry.Registry
+		if multi != nil {
+			reg = multi.TelemetryRegistry()
+		} else {
+			reg = telemetry.NewRegistry(e.Telemetry())
+		}
+		msrv, err := reg.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "djstar: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Printf("telemetry on http://%s/metrics (OpenMetrics) and /api/slo\n", msrv.Addr())
 	}
 
 	if *loadSet != "" {

@@ -223,6 +223,10 @@ func (a *App) Cycle(m *engine.Metrics) {
 		for _, d := range drops {
 			total += d
 		}
+		// Feed the bus drop total into telemetry so /metrics exposes it.
+		if tel := a.Engine.Telemetry(); tel != nil {
+			tel.SetBusDrops(total)
+		}
 		rep := middleware.HealthReport{
 			Cycle:           a.cycle,
 			Level:           h.Level.String(),
@@ -240,6 +244,11 @@ func (a *App) Cycle(m *engine.Metrics) {
 		if snap.CritPath != nil {
 			rep.CritPathUS = snap.CritPath.LengthUS
 			rep.Parallelism = snap.CritPath.Parallelism
+		}
+		if snap.SLO != nil {
+			rep.SLOBudgetRemaining = snap.SLO.BudgetRemaining
+			rep.SLOBurnRate1m = snap.SLO.BurnRate1m
+			rep.SLOExhausted = snap.SLO.Exhausted
 		}
 		a.Bus.Publish(middleware.TopicHealth, rep)
 	}

@@ -25,6 +25,7 @@ import (
 	"djstar/internal/obs"
 	"djstar/internal/sched"
 	"djstar/internal/stats"
+	"djstar/internal/telemetry"
 	"djstar/internal/timecode"
 )
 
@@ -88,13 +89,43 @@ type Config struct {
 
 	// Hooks is the consolidated event surface (faults, governor
 	// transitions, stalls, per-cycle timings, sampled traces). The zero
-	// value is a no-op. Migrating from the old per-event Config fields:
-	// see LegacyCallbacks.
+	// value is a no-op.
 	Hooks Hooks
 
 	// Obs tunes the always-on observability collector (per-node stats,
 	// sampled schedule realizations); see ObsOptions.
 	Obs ObsOptions
+
+	// Telemetry tunes the always-on production-telemetry collector
+	// (latency histograms, SLO budget, flight recorder); see
+	// TelemetryOptions.
+	Telemetry TelemetryOptions
+}
+
+// TelemetryOptions tune the engine's telemetry collector and flight
+// recorder. The zero value keeps both on with the paper's SLO budget
+// (5 misses per 10,000 cycles); incident bundles are only written when
+// IncidentDir is set.
+type TelemetryOptions struct {
+	// Disable turns telemetry off entirely — no histograms, no SLO
+	// tracking, no flight recorder. Meant for overhead A/B measurement.
+	Disable bool
+	// SLO sets the deadline-miss budget (zero value = 5 per 10k).
+	SLO telemetry.SLOConfig
+	// IncidentDir, when set, enables incident-bundle dumps: on a budget
+	// blow-out, quarantine or stall, the flight recorder writes a
+	// self-contained JSON bundle there (replay with djanalyze -incident).
+	IncidentDir string
+	// FlightTraces / FlightEvents size the recorder's retention rings
+	// (defaults 16 / 64).
+	FlightTraces int
+	FlightEvents int
+	// Session labels this engine's metric series under a shared worker
+	// pool (NewMulti stamps it automatically; default "0").
+	Session string
+	// OnIncident, when set, is notified after an incident bundle is
+	// written (called on the dump goroutine, never the audio path).
+	OnIncident func(path string, inc *telemetry.Incident)
 }
 
 // ObsOptions tune the engine's observability collector. The zero value
@@ -145,6 +176,10 @@ type Engine struct {
 
 	// col is the observability collector (nil when cfg.Obs.Disable).
 	col *obs.Collector
+	// tel is the telemetry collector and flight its incident recorder
+	// (both nil when cfg.Telemetry.Disable).
+	tel    *telemetry.Collector
+	flight *telemetry.Recorder
 	// lastTraceSeq is the collector trace sequence already delivered to
 	// Hooks.OnTrace; traceScratch is the reused copy handed to the hook.
 	lastTraceSeq uint64
@@ -251,16 +286,32 @@ func New(cfg Config) (*Engine, error) {
 	e.userFactor.Store(math.Float64bits(1))
 	e.govFactor.Store(math.Float64bits(1))
 
+	if !cfg.Telemetry.Disable {
+		e.tel = telemetry.NewCollector(telemetry.Config{
+			Strategy: scheduler.Name(),
+			Session:  cfg.Telemetry.Session,
+			SLO:      cfg.Telemetry.SLO,
+		})
+		e.flight = telemetry.NewRecorder(e.tel, telemetry.RecorderConfig{
+			Nodes:  plan.Len(),
+			Dir:    cfg.Telemetry.IncidentDir,
+			Traces: cfg.Telemetry.FlightTraces,
+			Events: cfg.Telemetry.FlightEvents,
+			OnDump: cfg.Telemetry.OnIncident,
+		})
+		e.flight.SetBundleFiller(e.fillIncident)
+	}
+
 	scheduler.SetFaultPolicy(cfg.FaultPolicy)
-	if cfg.Hooks.OnFault != nil {
-		scheduler.SetFaultHandler(cfg.Hooks.OnFault)
+	if e.tel != nil || cfg.Hooks.OnFault != nil {
+		scheduler.SetFaultHandler(e.onFault)
 	}
 	if cfg.Governor.Enabled {
 		e.gov = newGovernor(cfg.Governor, scheduler, plan, func(f float64) {
 			e.govFactor.Store(math.Float64bits(f))
 			e.applyLoadFactor()
 		})
-		e.gov.onChange = cfg.Hooks.OnGovChange
+		e.gov.onChange = e.onGovChange
 	}
 	if cfg.Watchdog {
 		wallMS := cfg.WatchdogWallMS
@@ -268,7 +319,7 @@ func New(cfg Config) (*Engine, error) {
 			wallMS = 50 * DeadlineMS
 		}
 		e.wd = newWatchdog(scheduler, plan,
-			time.Duration(wallMS*float64(time.Millisecond)), cfg.Hooks.OnStall)
+			time.Duration(wallMS*float64(time.Millisecond)), e.onStall)
 	}
 
 	// Timecode front end: one virtual turntable per deck, spinning at the
@@ -394,6 +445,9 @@ func (e *Engine) Close() {
 	e.closed = true
 	if e.wd != nil {
 		e.wd.close()
+	}
+	if e.flight != nil {
+		e.flight.Flush()
 	}
 	e.sched.Close()
 	if e.ownedPool != nil {
@@ -528,6 +582,12 @@ func (e *Engine) Cycle(m *Metrics) {
 	apc := t4.Sub(t0).Seconds() * 1e3
 	missed := apc > DeadlineMS
 	e.live.add(tp, gp, gr, vc, apc, missed)
+	if e.tel != nil {
+		if e.tel.RecordCycle(t4.Unix(), t4.Sub(t0).Nanoseconds(), t3.Sub(t2).Nanoseconds(),
+			missed, int32(e.GovLevel())) {
+			e.flight.Trigger(e.cycleN, telemetry.TriggerBudget)
+		}
+	}
 	if e.cfg.Hooks.OnCycle != nil {
 		e.cfg.Hooks.OnCycle(CycleInfo{
 			Cycle: e.cycleN,
@@ -535,11 +595,16 @@ func (e *Engine) Cycle(m *Metrics) {
 			DeadlineMiss: missed,
 		})
 	}
-	if e.cfg.Hooks.OnTrace != nil && e.col != nil {
+	if e.col != nil && (e.flight != nil || e.cfg.Hooks.OnTrace != nil) {
 		if seq := e.col.TraceSeq(); seq != e.lastTraceSeq {
 			e.lastTraceSeq = seq
 			if e.col.LatestTrace(&e.traceScratch) {
-				e.cfg.Hooks.OnTrace(&e.traceScratch)
+				if e.flight != nil {
+					e.flight.AddTrace(&e.traceScratch)
+				}
+				if e.cfg.Hooks.OnTrace != nil {
+					e.cfg.Hooks.OnTrace(&e.traceScratch)
+				}
 			}
 		}
 	}

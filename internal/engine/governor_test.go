@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"testing"
+
+	"djstar/internal/graph"
+	"djstar/internal/sched"
+)
+
+// stubSched is a minimal sched.Scheduler for driving the governor state
+// machine directly: it only records shed marks.
+type stubSched struct {
+	shed map[int32]bool
+}
+
+func newStubSched() *stubSched { return &stubSched{shed: map[int32]bool{}} }
+
+func (s *stubSched) Name() string                            { return "stub" }
+func (s *stubSched) Threads() int                            { return 1 }
+func (s *stubSched) Execute()                                {}
+func (s *stubSched) Close()                                  {}
+func (s *stubSched) SetFaultPolicy(sched.FaultPolicy)        {}
+func (s *stubSched) SetFaultHandler(func(sched.FaultRecord)) {}
+func (s *stubSched) Faults() sched.FaultStats                { return sched.FaultStats{} }
+func (s *stubSched) SetNodeShed(id int32, shed bool)         { s.shed[id] = shed }
+func (s *stubSched) Quarantined(int32) bool                  { return false }
+func (s *stubSched) Inflight(int32) int32                    { return 0 }
+
+// govPlan is a four-node plan with one node of each sheddable kind plus
+// one audio node the governor must never touch.
+func govPlan() *graph.Plan {
+	return &graph.Plan{
+		Names: []string{"audio", "meter", "control", "fx"},
+		Kinds: []graph.NodeKind{graph.KindAudio, graph.KindMeter, graph.KindControl, graph.KindFX},
+	}
+}
+
+// govHarness wires a governor to the stub scheduler and records every
+// transition and load-factor application.
+type govHarness struct {
+	g           *governor
+	s           *stubSched
+	factors     []float64
+	transitions []string
+}
+
+func newGovHarness(t *testing.T, cfg GovernorConfig) *govHarness {
+	t.Helper()
+	h := &govHarness{s: newStubSched()}
+	h.g = newGovernor(cfg, h.s, govPlan(), func(f float64) {
+		h.factors = append(h.factors, f)
+	})
+	h.g.onChange = func(from, to GovLevel) {
+		h.transitions = append(h.transitions, from.String()+"->"+to.String())
+	}
+	return h
+}
+
+// window feeds exactly one evaluation window: misses cycles over the
+// deadline, the rest clean, all with a graph time far under budget.
+func (h *govHarness) window(misses int) {
+	w := h.g.cfg.Window
+	for i := 0; i < w; i++ {
+		apc := 1.0
+		if i < misses {
+			apc = 10.0 // past any deadline
+		}
+		h.g.observe(apc, 0.1)
+	}
+}
+
+// govTestConfig: window of 8 cycles, escalate when the window miss rate
+// exceeds 20 % (i.e. 2+ misses of 8), recover after 3 clean windows.
+func govTestConfig() GovernorConfig {
+	return GovernorConfig{
+		Enabled:          true,
+		DeadlineMS:       2.0,
+		GraphBudgetMS:    100, // keep the p99 trigger out of these tests
+		Window:           8,
+		EscalateMissRate: 0.20,
+		CleanWindows:     3,
+		CriticalFactor:   0.5,
+	}
+}
+
+func TestGovernorEscalateExactBoundary(t *testing.T) {
+	h := newGovHarness(t, govTestConfig())
+
+	// One window one cycle short of completion: no decision yet, however
+	// bad the cycles were.
+	for i := 0; i < 7; i++ {
+		h.g.observe(10.0, 0.1)
+	}
+	if got := h.g.Level(); got != GovNormal {
+		t.Fatalf("level before window completes = %v, want normal", got)
+	}
+	// The 8th cycle completes the window: rate 1.0 > 0.20 escalates.
+	h.g.observe(10.0, 0.1)
+	if got := h.g.Level(); got != GovDegraded1 {
+		t.Fatalf("level after first bad window = %v, want degraded1", got)
+	}
+	// Degraded1 sheds meter and control, keeps FX and DSP.
+	if !h.s.shed[1] || !h.s.shed[2] {
+		t.Fatalf("degraded1 must shed meter+control, shed map = %v", h.s.shed)
+	}
+	if h.s.shed[0] || h.s.shed[3] {
+		t.Fatalf("degraded1 must not shed audio or fx, shed map = %v", h.s.shed)
+	}
+
+	// A window at exactly the threshold rate must NOT escalate: the
+	// trigger is rate > EscalateMissRate, and 20 % of 8 is 1.6, so 1 miss
+	// (12.5 %) holds while 2 misses (25 %) escalates.
+	h.window(1)
+	if got := h.g.Level(); got != GovDegraded1 {
+		t.Fatalf("level after under-threshold window = %v, want degraded1", got)
+	}
+	h.window(2)
+	if got := h.g.Level(); got != GovDegraded2 {
+		t.Fatalf("level after over-threshold window = %v, want degraded2", got)
+	}
+	// Degraded2 additionally sheds FX.
+	if !h.s.shed[3] {
+		t.Fatalf("degraded2 must shed fx, shed map = %v", h.s.shed)
+	}
+}
+
+func TestGovernorCriticalHalvesLoadFactor(t *testing.T) {
+	h := newGovHarness(t, govTestConfig())
+
+	// Three bad windows walk normal -> degraded1 -> degraded2 -> critical.
+	h.window(8)
+	h.window(8)
+	h.window(8)
+	if got := h.g.Level(); got != GovCritical {
+		t.Fatalf("level after 3 bad windows = %v, want critical", got)
+	}
+	// The critical rung applies the configured load-factor multiplier;
+	// the two rungs before it applied 1.0.
+	if len(h.factors) != 3 || h.factors[2] != 0.5 {
+		t.Fatalf("factors = %v, want [1 1 0.5]", h.factors)
+	}
+
+	// Critical is the floor: more bad windows hold, no further transition.
+	h.window(8)
+	if got := h.g.Level(); got != GovCritical {
+		t.Fatalf("level after 4th bad window = %v, want critical (floor)", got)
+	}
+	if len(h.transitions) != 3 {
+		t.Fatalf("transitions = %v, want exactly 3", h.transitions)
+	}
+}
+
+func TestGovernorDeEscalateExactBoundary(t *testing.T) {
+	h := newGovHarness(t, govTestConfig())
+	h.window(8) // normal -> degraded1
+
+	// CleanWindows-1 clean windows are not enough.
+	h.window(0)
+	h.window(0)
+	if got := h.g.Level(); got != GovDegraded1 {
+		t.Fatalf("level after 2 clean windows = %v, want degraded1", got)
+	}
+	// The 3rd consecutive clean window recovers one level.
+	h.window(0)
+	if got := h.g.Level(); got != GovNormal {
+		t.Fatalf("level after 3 clean windows = %v, want normal", got)
+	}
+	// Recovery un-sheds everything.
+	for id, shed := range h.s.shed {
+		if shed {
+			t.Fatalf("node %d still shed after recovery", id)
+		}
+	}
+}
+
+func TestGovernorRecoveryFromCriticalRestoresFactor(t *testing.T) {
+	h := newGovHarness(t, govTestConfig())
+	h.window(8)
+	h.window(8)
+	h.window(8) // critical, factor 0.5
+
+	// Leaving critical must restore the full load factor immediately,
+	// even though the level is still degraded2.
+	h.window(0)
+	h.window(0)
+	h.window(0)
+	if got := h.g.Level(); got != GovDegraded2 {
+		t.Fatalf("level after recovery step = %v, want degraded2", got)
+	}
+	if last := h.factors[len(h.factors)-1]; last != 1.0 {
+		t.Fatalf("factor after leaving critical = %v, want 1.0", last)
+	}
+
+	// Full recovery walks one level per CleanWindows streak.
+	for i := 0; i < 2*3; i++ {
+		h.window(0)
+	}
+	if got := h.g.Level(); got != GovNormal {
+		t.Fatalf("level after full recovery = %v, want normal", got)
+	}
+	want := []string{
+		"normal->degraded1", "degraded1->degraded2", "degraded2->critical",
+		"critical->degraded2", "degraded2->degraded1", "degraded1->normal",
+	}
+	if len(h.transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", h.transitions, want)
+	}
+	for i := range want {
+		if h.transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, h.transitions[i], want[i])
+		}
+	}
+}
+
+func TestGovernorPartialMissWindowResetsCleanStreak(t *testing.T) {
+	h := newGovHarness(t, govTestConfig())
+	h.window(8) // -> degraded1
+
+	// Two clean windows, then a window with one miss (under the
+	// escalation threshold): holds the level but restarts the streak.
+	h.window(0)
+	h.window(0)
+	h.window(1)
+	if got := h.g.Level(); got != GovDegraded1 {
+		t.Fatalf("level after partial-miss window = %v, want degraded1", got)
+	}
+	// Two more clean windows: still short of a fresh streak of 3.
+	h.window(0)
+	h.window(0)
+	if got := h.g.Level(); got != GovDegraded1 {
+		t.Fatalf("level after broken streak = %v, want degraded1 (hysteresis)", got)
+	}
+	h.window(0)
+	if got := h.g.Level(); got != GovNormal {
+		t.Fatalf("level after fresh 3-window streak = %v, want normal", got)
+	}
+}
+
+func TestGovernorGraphBudgetP99Escalates(t *testing.T) {
+	cfg := govTestConfig()
+	cfg.GraphBudgetMS = 2.1
+	h := newGovHarness(t, cfg)
+
+	// No deadline misses, but every graph time over budget: the p99
+	// trigger escalates on its own.
+	for i := 0; i < cfg.Window; i++ {
+		h.g.observe(1.0, 5.0)
+	}
+	if got := h.g.Level(); got != GovDegraded1 {
+		t.Fatalf("level after over-budget graph window = %v, want degraded1", got)
+	}
+}

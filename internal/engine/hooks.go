@@ -41,26 +41,3 @@ type CycleInfo struct {
 	// DeadlineMiss reports APCMS exceeded the 2.902 ms packet period.
 	DeadlineMiss bool
 }
-
-// LegacyCallbacks is the deprecated pre-Hooks callback surface, kept for
-// one release so existing construction sites migrate mechanically:
-// replace Config{OnFault: f, OnStall: s} with
-// Config{Hooks: LegacyCallbacks{OnFault: f, OnStall: s}.Hooks()}.
-//
-// Deprecated: set Config.Hooks directly.
-type LegacyCallbacks struct {
-	OnFault     func(sched.FaultRecord)
-	OnGovChange func(from, to GovLevel)
-	OnStall     func(StallRecord)
-}
-
-// Hooks converts the legacy callbacks to the consolidated form.
-//
-// Deprecated: set Config.Hooks directly.
-func (l LegacyCallbacks) Hooks() Hooks {
-	return Hooks{
-		OnFault:     l.OnFault,
-		OnGovChange: l.OnGovChange,
-		OnStall:     l.OnStall,
-	}
-}

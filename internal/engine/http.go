@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"djstar/internal/obs"
+	"djstar/internal/telemetry"
 )
 
 // DebugServer is the optional live-observability HTTP endpoint
@@ -28,6 +29,8 @@ type DebugServer struct {
 //	/api/snapshot     – engine.Snapshot JSON (versioned)
 //	/api/critpath     – the measured critical path JSON
 //	/api/trace        – latest sampled cycles as Chrome trace JSON
+//	/metrics          – telemetry in OpenMetrics/Prometheus text format
+//	/api/slo          – deadline-miss budget status JSON
 //
 // snapshot supplies the engine view per request; for a multi-session
 // process pass a closure over the session of interest.
@@ -61,6 +64,17 @@ func StartDebugServer(addr string, e *Engine) (*DebugServer, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = obs.WriteChromeTrace(w, e.Plan(), col.Traces())
 	})
+	if tel := e.Telemetry(); tel != nil {
+		reg := telemetry.NewRegistry(tel)
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/api/slo", reg.Handler())
+	} else {
+		disabled := func(w http.ResponseWriter, _ *http.Request) {
+			http.Error(w, `{"error":"telemetry disabled"}`, http.StatusServiceUnavailable)
+		}
+		mux.HandleFunc("/metrics", disabled)
+		mux.HandleFunc("/api/slo", disabled)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

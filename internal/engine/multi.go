@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"djstar/internal/sched"
+	"djstar/internal/telemetry"
 )
 
 // MultiEngine owns N engines attached as sessions to one shared
@@ -38,6 +39,7 @@ func NewMulti(cfg Config, sessions, workers int) (*MultiEngine, error) {
 		c := cfg
 		c.Pool = pool
 		c.Strategy = sched.NamePool
+		c.Telemetry.Session = fmt.Sprintf("%d", i)
 		if i > 0 {
 			c.DisableGC = false
 		}
@@ -57,6 +59,17 @@ func (m *MultiEngine) Pool() *sched.Pool { return m.pool }
 // Engines exposes the per-session engines (e.g. for live control of one
 // session while others keep running).
 func (m *MultiEngine) Engines() []*Engine { return m.engines }
+
+// TelemetryRegistry assembles a registry over every session's telemetry
+// collector, for one /metrics endpoint covering the whole pool. Sessions
+// with telemetry disabled are skipped.
+func (m *MultiEngine) TelemetryRegistry() *telemetry.Registry {
+	r := telemetry.NewRegistry()
+	for _, e := range m.engines {
+		r.Add(e.Telemetry())
+	}
+	return r
+}
 
 // RunCyclesConcurrent executes n audio processing cycles on every
 // session concurrently — one driving goroutine per session, all sharing

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"djstar/internal/obs"
+	"djstar/internal/telemetry"
 )
 
 // SnapshotSchemaVersion identifies the Snapshot wire shape; consumers
@@ -43,6 +44,10 @@ type Snapshot struct {
 
 	// Health is the fault-tolerance and degradation state.
 	Health Health `json:"health"`
+
+	// SLO is the deadline-miss budget status (nil when telemetry is
+	// disabled).
+	SLO *telemetry.SLOStatus `json:"slo,omitempty"`
 
 	// Nodes are the collector's per-node timing stats (nil when the
 	// collector is disabled).
@@ -105,6 +110,10 @@ func (e *Engine) Snapshot() Snapshot {
 	s.DeadlineMisses = e.live.misses
 	e.live.mu.Unlock()
 
+	if e.tel != nil {
+		slo := e.tel.SLO()
+		s.SLO = &slo
+	}
 	if e.col != nil && s.Cycles > 0 {
 		s.Nodes = e.col.NodeStats()
 		cp := obs.CriticalPath(e.plan, e.col.NodeMeansUS())

@@ -80,10 +80,10 @@ func Chaos(o Options) (*ChaosResult, error) {
 	gcfg := o.graphConfig()
 	gcfg.Faults = inj
 	e, err := engine.New(engine.Config{
-		Graph:       gcfg,
-		Strategy:    sched.NameBusyWait,
-		Threads:     o.MaxThreads,
-		FaultPolicy: sched.FaultPolicy{ProbeEvery: chaosProbeEvery},
+		Graph:          gcfg,
+		Strategy:       sched.NameBusyWait,
+		Threads:        o.MaxThreads,
+		FaultPolicy:    sched.FaultPolicy{ProbeEvery: chaosProbeEvery},
 		Watchdog:       true,
 		WatchdogWallMS: chaosWallMS,
 		Hooks: engine.Hooks{

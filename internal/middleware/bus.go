@@ -267,6 +267,13 @@ type HealthReport struct {
 	// DropsByTopic its per-topic breakdown (only topics with drops).
 	BusDrops     int64
 	DropsByTopic map[string]int64
+	// SLOBudgetRemaining is the unspent fraction of the rolling
+	// deadline-miss budget (1 = clean, 0 = exhausted); SLOBurnRate1m the
+	// one-minute burn rate; SLOExhausted reports the window is over
+	// budget right now. All zero when telemetry is disabled.
+	SLOBudgetRemaining float64
+	SLOBurnRate1m      float64
+	SLOExhausted       bool
 }
 
 // FaultEvent reports one contained node panic.

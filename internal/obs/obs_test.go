@@ -96,8 +96,8 @@ func TestCollectorNodeStats(t *testing.T) {
 func TestCollectorMinMax(t *testing.T) {
 	p := chainPlan(t)
 	c := NewCollector(p, Config{Workers: 1, TraceEvery: -1})
-	feed(c, 1, []int64{0, 10, 20, 30}, []int64{2, 15, 25, 35})  // n0: 2 µs
-	feed(c, 1, []int64{0, 10, 20, 30}, []int64{8, 15, 25, 35})  // n0: 8 µs
+	feed(c, 1, []int64{0, 10, 20, 30}, []int64{2, 15, 25, 35}) // n0: 2 µs
+	feed(c, 1, []int64{0, 10, 20, 30}, []int64{8, 15, 25, 35}) // n0: 8 µs
 	s := c.NodeStats()[0]
 	if s.MinUS != 2 || s.MaxUS != 8 || s.MeanUS != 5 {
 		t.Fatalf("min/mean/max = %v/%v/%v, want 2/5/8", s.MinUS, s.MeanUS, s.MaxUS)

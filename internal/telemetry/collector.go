@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Config labels and tunes a Collector.
+type Config struct {
+	// Strategy and Session label every exposed metric series — the
+	// scheduling strategy name and, under a shared worker pool, which
+	// session the series belongs to (default "0").
+	Strategy string
+	Session  string
+	// SLO sets the deadline-miss budget (zero value = 5 per 10,000).
+	SLO SLOConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Strategy == "" {
+		c.Strategy = "unknown"
+	}
+	if c.Session == "" {
+		c.Session = "0"
+	}
+	return c
+}
+
+// Collector is one engine's telemetry: latency histograms, the rolling
+// per-second ring, the SLO budget window, and the fault/governor/stall
+// counters. RecordCycle is the audio-path entry point and is
+// allocation-free; everything else is snapshot-path. The mutex guards
+// the ring and the SLO window and is taken once per cycle, mirroring the
+// engine's liveStats discipline; the histograms and counters are atomic
+// and lock-free.
+type Collector struct {
+	cfg Config
+
+	// APC and Graph are the cycle-latency histograms (whole APC and the
+	// graph component).
+	APC   Histogram
+	Graph Histogram
+
+	cycles      atomic.Uint64
+	misses      atomic.Uint64
+	faults      atomic.Uint64
+	quarantines atomic.Uint64
+	stalls      atomic.Uint64
+	govChanges  atomic.Uint64
+	incidents   atomic.Uint64
+	govLevel    atomic.Int32
+	busDrops    atomic.Int64
+
+	mu   sync.Mutex
+	ring ring
+	slo  *sloWindow
+}
+
+// NewCollector builds a collector for the given labels and SLO budget.
+func NewCollector(cfg Config) *Collector {
+	cfg = cfg.withDefaults()
+	return &Collector{cfg: cfg, slo: newSLOWindow(cfg.SLO)}
+}
+
+// Strategy returns the collector's strategy label.
+func (c *Collector) Strategy() string { return c.cfg.Strategy }
+
+// Session returns the collector's session label.
+func (c *Collector) Session() string { return c.cfg.Session }
+
+// RecordCycle records one completed APC: histogram samples, the
+// per-second ring slot, and the SLO window. unixSec is the wall-clock
+// second the cycle completed in. It returns true exactly when this
+// cycle's miss pushes the rolling window past its budget — the caller's
+// cue to trigger the flight recorder. Allocation-free; single writer
+// (the cycle thread).
+func (c *Collector) RecordCycle(unixSec int64, apcNS, graphNS int64, miss bool, govLevel int32) (budgetCrossed bool) {
+	c.APC.RecordNS(apcNS)
+	c.Graph.RecordNS(graphNS)
+	c.cycles.Add(1)
+	if miss {
+		c.misses.Add(1)
+	}
+	c.govLevel.Store(govLevel)
+
+	c.mu.Lock()
+	s := c.ring.slotFor(unixSec)
+	s.Cycles++
+	s.APCSumNS += apcNS
+	if miss {
+		s.Misses++
+	}
+	if govLevel > s.GovLevel {
+		s.GovLevel = govLevel
+	}
+	s.BusDrops = c.busDrops.Load()
+	budgetCrossed = c.slo.add(miss)
+	c.mu.Unlock()
+	return budgetCrossed
+}
+
+// RecordFault counts one contained node panic (worker thread; cheap).
+func (c *Collector) RecordFault(quarantined bool) {
+	c.faults.Add(1)
+	if quarantined {
+		c.quarantines.Add(1)
+	}
+	c.mu.Lock()
+	if s := c.ring.current(); s != nil {
+		s.Faults++
+		if quarantined {
+			s.Quarantines++
+		}
+	}
+	c.mu.Unlock()
+}
+
+// RecordStall counts one watchdog detection (watchdog goroutine).
+func (c *Collector) RecordStall() {
+	c.stalls.Add(1)
+	c.mu.Lock()
+	if s := c.ring.current(); s != nil {
+		s.Stalls++
+	}
+	c.mu.Unlock()
+}
+
+// RecordGovTransition counts one governor level change (cycle thread).
+func (c *Collector) RecordGovTransition(to int32) {
+	c.govChanges.Add(1)
+	c.govLevel.Store(to)
+}
+
+// RecordIncident counts one flight-recorder trigger.
+func (c *Collector) RecordIncident() { c.incidents.Add(1) }
+
+// SetBusDrops publishes the middleware bus's cumulative drop count
+// (off-path gauge; the app facade updates it at health-report rate).
+func (c *Collector) SetBusDrops(n int64) { c.busDrops.Store(n) }
+
+// SLO returns the budget tracker's current status.
+func (c *Collector) SLO() SLOStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slo.status(c.cycles.Load(), c.misses.Load(), &c.ring)
+}
+
+// Series returns the most recent n seconds of the rolling ring, oldest
+// first (n ≤ RingSeconds).
+func (c *Collector) Series(n int) []RingSlot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.lastN(n)
+}
+
+// Totals is the counter snapshot used by the exposition writer and the
+// incident bundle.
+type Totals struct {
+	Cycles         uint64 `json:"cycles"`
+	DeadlineMisses uint64 `json:"deadline_misses"`
+	Faults         uint64 `json:"faults"`
+	Quarantines    uint64 `json:"quarantines"`
+	Stalls         uint64 `json:"stalls"`
+	GovTransitions uint64 `json:"gov_transitions"`
+	Incidents      uint64 `json:"incidents"`
+	GovLevel       int32  `json:"gov_level"`
+	BusDrops       int64  `json:"bus_drops"`
+}
+
+// Totals returns the counter snapshot.
+func (c *Collector) Totals() Totals {
+	return Totals{
+		Cycles:         c.cycles.Load(),
+		DeadlineMisses: c.misses.Load(),
+		Faults:         c.faults.Load(),
+		Quarantines:    c.quarantines.Load(),
+		Stalls:         c.stalls.Load(),
+		GovTransitions: c.govChanges.Load(),
+		Incidents:      c.incidents.Load(),
+		GovLevel:       c.govLevel.Load(),
+		BusDrops:       c.busDrops.Load(),
+	}
+}
+
+// Rates1m summarizes the last minute of the ring: cycle rate in Hz and
+// miss rate as a fraction (snapshot path).
+func (c *Collector) Rates1m() (cycleHz, missRate float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cycles, misses := c.ring.windowSums(60)
+	n := c.ring.valid
+	if n > 60 {
+		n = 60
+	}
+	if n > 0 {
+		cycleHz = float64(cycles) / float64(n)
+	}
+	if cycles > 0 {
+		missRate = float64(misses) / float64(cycles)
+	}
+	return cycleHz, missRate
+}

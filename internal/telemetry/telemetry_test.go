@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketMapping(t *testing.T) {
+	// Everything below the 1.024 µs floor lands in bucket 0.
+	for _, ns := range []int64{-5, 0, 1, 1023} {
+		if b := bucketOf(ns); b != 0 {
+			t.Fatalf("bucketOf(%d) = %d, want 0", ns, b)
+		}
+	}
+	// Bucket boundaries are inclusive upper bounds: a value equal to
+	// bucketUpperNS(b) must map to b, and +1 must map to b+1.
+	for b := 0; b < histBuckets-1; b++ {
+		up := bucketUpperNS(b)
+		if got := bucketOf(up); got != b {
+			t.Fatalf("bucketOf(upper(%d)=%d) = %d, want %d", b, up, got, b)
+		}
+		if got := bucketOf(up + 1); got != b+1 {
+			t.Fatalf("bucketOf(upper(%d)+1=%d) = %d, want %d", b, up+1, got, b+1)
+		}
+	}
+	// Upper bounds are strictly increasing.
+	for b := 1; b < histBuckets; b++ {
+		if bucketUpperNS(b) <= bucketUpperNS(b-1) {
+			t.Fatalf("upper(%d)=%d <= upper(%d)=%d", b, bucketUpperNS(b), b-1, bucketUpperNS(b-1))
+		}
+	}
+	// Log-linear sub-bucketing bounds relative error: the bucket width
+	// over its lower bound is at most 1/histSub above the floor region.
+	for b := histSub + 1; b < histBuckets; b++ {
+		lo, hi := bucketUpperNS(b-1)+1, bucketUpperNS(b)
+		if ratio := float64(hi-lo+1) / float64(lo); ratio > 1.0/histSub+1e-9 {
+			t.Fatalf("bucket %d relative width %.4f > %.4f", b, ratio, 1.0/histSub)
+		}
+	}
+}
+
+func TestHistogramRecordAndBuckets(t *testing.T) {
+	var h Histogram
+	// 300 µs and 2.5 ms — typical APC values at both ends.
+	h.RecordNS(300_000)
+	h.RecordNS(300_000)
+	h.RecordNS(2_500_000)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if got, want := h.SumSeconds(), 3.1e-3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sum = %v s, want %v", got, want)
+	}
+	bs := h.Buckets()
+	if len(bs) < 2 {
+		t.Fatalf("buckets = %v, want at least a populated and a +Inf bucket", bs)
+	}
+	last := bs[len(bs)-1]
+	if !math.IsInf(last.UpperSeconds, 1) || last.CumulativeCount != 3 {
+		t.Fatalf("+Inf bucket = %+v, want cumulative 3", last)
+	}
+	// Cumulative counts are monotone and end at the total.
+	prev := uint64(0)
+	for _, b := range bs {
+		if b.CumulativeCount < prev {
+			t.Fatalf("cumulative counts not monotone: %v", bs)
+		}
+		prev = b.CumulativeCount
+	}
+	// The quantile estimate brackets the recorded values within bucket
+	// resolution (≤ 12.5 % high).
+	if q := h.QuantileSeconds(0.5); q < 300e-6 || q > 300e-6*1.3 {
+		t.Fatalf("p50 = %v s, want ≈ 300 µs", q)
+	}
+	if q := h.QuantileSeconds(1.0); q < 2.5e-3 || q > 2.5e-3*1.3 {
+		t.Fatalf("p100 = %v s, want ≈ 2.5 ms", q)
+	}
+}
+
+func TestHistogramRecordDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	n := testing.AllocsPerRun(1000, func() { h.RecordNS(1_500_000) })
+	if n != 0 {
+		t.Fatalf("Histogram.RecordNS allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestRingAdvanceAndSkips(t *testing.T) {
+	var r ring
+	s := r.slotFor(100)
+	s.Cycles = 10
+	s.Misses = 1
+	// Advancing 3 seconds leaves two zero slots for the skipped seconds.
+	s = r.slotFor(103)
+	s.Cycles = 20
+	if r.valid != 4 {
+		t.Fatalf("valid = %d, want 4", r.valid)
+	}
+	got := r.lastN(4)
+	if len(got) != 4 {
+		t.Fatalf("lastN(4) = %d slots, want 4", len(got))
+	}
+	wantCycles := []uint64{10, 0, 0, 20}
+	for i, w := range wantCycles {
+		if got[i].Cycles != w {
+			t.Fatalf("slot %d cycles = %d, want %d (%+v)", i, got[i].Cycles, w, got)
+		}
+		if got[i].UnixSec != int64(100+i) {
+			t.Fatalf("slot %d sec = %d, want %d", i, got[i].UnixSec, 100+i)
+		}
+	}
+	cycles, misses := r.windowSums(4)
+	if cycles != 30 || misses != 1 {
+		t.Fatalf("windowSums = %d/%d, want 30/1", cycles, misses)
+	}
+	// A window smaller than the filled depth only sees recent slots.
+	cycles, _ = r.windowSums(1)
+	if cycles != 20 {
+		t.Fatalf("windowSums(1) = %d, want 20", cycles)
+	}
+}
+
+func TestRingClockBackwards(t *testing.T) {
+	var r ring
+	r.slotFor(100).Cycles = 1
+	// An older timestamp folds into the current slot instead of
+	// corrupting the series.
+	s := r.slotFor(50)
+	s.Cycles++
+	if r.valid != 1 {
+		t.Fatalf("valid = %d, want 1 (no backwards growth)", r.valid)
+	}
+	if cur := r.current(); cur.Cycles != 2 || cur.UnixSec != 100 {
+		t.Fatalf("current = %+v, want 2 cycles at sec 100", cur)
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	var r ring
+	for sec := int64(0); sec < RingSeconds+10; sec++ {
+		r.slotFor(sec).Cycles = 1
+	}
+	if r.valid != RingSeconds {
+		t.Fatalf("valid = %d, want %d", r.valid, RingSeconds)
+	}
+	got := r.lastN(RingSeconds)
+	if got[0].UnixSec != 10 || got[len(got)-1].UnixSec != RingSeconds+9 {
+		t.Fatalf("window spans %d..%d, want 10..%d",
+			got[0].UnixSec, got[len(got)-1].UnixSec, RingSeconds+9)
+	}
+}
+
+func TestSLOWindowCrossingAndRearm(t *testing.T) {
+	// Budget: 5 per 10k over a 1000-cycle window → allowed = 0.5 when
+	// filled, so the 1st miss in a full window crosses.
+	w := newSLOWindow(SLOConfig{TargetPer10k: 5, WindowCycles: 1000})
+	for i := 0; i < 1000; i++ {
+		if w.add(false) {
+			t.Fatal("clean cycle crossed the budget")
+		}
+	}
+	if crossed := w.add(true); !crossed {
+		t.Fatal("first over-budget miss did not report a crossing")
+	}
+	// Level-triggered repeats must not re-report: still over budget.
+	if crossed := w.add(true); crossed {
+		t.Fatal("second miss re-reported while already exhausted")
+	}
+	if !w.exhausted {
+		t.Fatal("window not latched exhausted")
+	}
+	// Recovery: clean cycles evict the misses; once the window is back
+	// at ≤ half budget the trigger re-arms and a new burst crosses again.
+	for i := 0; i < 1100; i++ {
+		w.add(false)
+	}
+	if w.misses != 0 || w.exhausted {
+		t.Fatalf("window after recovery: misses=%d exhausted=%v, want 0/false", w.misses, w.exhausted)
+	}
+	if crossed := w.add(true); !crossed {
+		t.Fatal("post-recovery burst did not cross again")
+	}
+}
+
+func TestSLOWindowExactEviction(t *testing.T) {
+	// A miss leaves the window exactly WindowCycles later.
+	w := newSLOWindow(SLOConfig{TargetPer10k: 5, WindowCycles: 64})
+	w.add(true)
+	for i := 0; i < 63; i++ {
+		w.add(false)
+	}
+	if w.misses != 1 {
+		t.Fatalf("misses before eviction = %d, want 1", w.misses)
+	}
+	w.add(false) // the 65th cycle evicts the miss
+	if w.misses != 0 {
+		t.Fatalf("misses after eviction = %d, want 0", w.misses)
+	}
+}
+
+func TestSLOStatus(t *testing.T) {
+	c := NewCollector(Config{Strategy: "busy", SLO: SLOConfig{TargetPer10k: 5, WindowCycles: 1000}})
+	sec := int64(1000)
+	for i := 0; i < 2000; i++ {
+		miss := i%1000 == 0 // 2 misses total, 1 in the current window
+		c.RecordCycle(sec+int64(i/100), 1_000_000, 500_000, miss, 0)
+	}
+	s := c.SLO()
+	if s.TotalCycles != 2000 || s.TotalMisses != 2 {
+		t.Fatalf("totals = %d/%d, want 2000/2", s.TotalCycles, s.TotalMisses)
+	}
+	if s.WindowFilled != 1000 || s.WindowMisses != 1 {
+		t.Fatalf("window = %d/%d, want 1 miss of 1000", s.WindowMisses, s.WindowFilled)
+	}
+	if s.AllowedMisses != 0.5 || !s.Exhausted {
+		t.Fatalf("allowed=%v exhausted=%v, want 0.5/true", s.AllowedMisses, s.Exhausted)
+	}
+	if s.BudgetRemaining != 0 {
+		t.Fatalf("budget remaining = %v, want 0 (overspent)", s.BudgetRemaining)
+	}
+	// Burn rate: 2 misses / 2000 cycles = 1e-3 rate vs 5e-4 target = 2×.
+	if math.Abs(s.BurnRate1m-2.0) > 1e-9 {
+		t.Fatalf("burn rate 1m = %v, want 2.0", s.BurnRate1m)
+	}
+}
+
+func TestCollectorRecordCycleDoesNotAllocate(t *testing.T) {
+	c := NewCollector(Config{Strategy: "busy"})
+	sec := int64(7_000_000)
+	i := int64(0)
+	n := testing.AllocsPerRun(2000, func() {
+		i++
+		c.RecordCycle(sec+i/500, 1_200_000, 450_000, i%400 == 0, 1)
+	})
+	if n != 0 {
+		t.Fatalf("Collector.RecordCycle allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestCollectorRatesAndTotals(t *testing.T) {
+	c := NewCollector(Config{})
+	for i := 0; i < 100; i++ {
+		c.RecordCycle(500, 1_000_000, 400_000, i < 10, 2)
+	}
+	c.RecordFault(true)
+	c.RecordFault(false)
+	c.RecordStall()
+	c.RecordGovTransition(3)
+	c.SetBusDrops(7)
+	tot := c.Totals()
+	if tot.Cycles != 100 || tot.DeadlineMisses != 10 {
+		t.Fatalf("cycles/misses = %d/%d, want 100/10", tot.Cycles, tot.DeadlineMisses)
+	}
+	if tot.Faults != 2 || tot.Quarantines != 1 || tot.Stalls != 1 {
+		t.Fatalf("faults/quarantines/stalls = %d/%d/%d, want 2/1/1", tot.Faults, tot.Quarantines, tot.Stalls)
+	}
+	if tot.GovTransitions != 1 || tot.GovLevel != 3 || tot.BusDrops != 7 {
+		t.Fatalf("gov/level/drops = %d/%d/%d, want 1/3/7", tot.GovTransitions, tot.GovLevel, tot.BusDrops)
+	}
+	hz, mr := c.Rates1m()
+	if hz != 100 || mr != 0.1 {
+		t.Fatalf("rates = %v Hz / %v, want 100/0.1", hz, mr)
+	}
+	// The ring slot carries the fault-tolerance events and gov level.
+	series := c.Series(1)
+	if len(series) != 1 {
+		t.Fatalf("series length = %d, want 1", len(series))
+	}
+	s := series[0]
+	if s.Faults != 2 || s.Quarantines != 1 || s.Stalls != 1 || s.GovLevel != 2 {
+		t.Fatalf("slot = %+v, want faults 2, quarantines 1, stalls 1, gov 2", s)
+	}
+}

@@ -188,7 +188,8 @@ func (m *Model) ganttPanel(width int) string {
 }
 
 // healthLine summarizes the health panel: governor level, contained
-// faults, quarantined nodes, stalls and bus drops. Empty when no health
+// faults, quarantined nodes, stalls, SLO budget burn and bus drops.
+// Empty when no health
 // event has arrived and nothing faulted (quiet engines get no panel).
 func (m *Model) healthLine() string {
 	if !m.hasHealth && m.faults == 0 {
@@ -213,6 +214,14 @@ func (m *Model) healthLine() string {
 		}
 		if m.health.MissRate > 0 {
 			parts = append(parts, fmt.Sprintf("miss %.2f%%", 100*m.health.MissRate))
+		}
+		// SLO budget burn: how much of the rolling deadline-miss budget
+		// is spent and how fast it is burning.
+		if m.health.SLOExhausted {
+			parts = append(parts, fmt.Sprintf("SLO EXHAUSTED burn %.1fx", m.health.SLOBurnRate1m))
+		} else if m.health.SLOBudgetRemaining > 0 && m.health.SLOBudgetRemaining < 1 {
+			parts = append(parts, fmt.Sprintf("budget %.0f%% burn %.1fx",
+				100*m.health.SLOBudgetRemaining, m.health.SLOBurnRate1m))
 		}
 		if m.health.CritPathUS > 0 {
 			parts = append(parts, fmt.Sprintf("cp %.0fµs ∥%.2f", m.health.CritPathUS, m.health.Parallelism))

@@ -1,10 +1,16 @@
 #!/usr/bin/env sh
-# check_obs_overhead.sh — CI gate for the observability collector's cost.
+# check_obs_overhead.sh — CI gate for the always-on instrumentation cost.
 #
-# Runs BenchmarkObsOverhead (the same APC cycle with the collector at the
-# default sampling rate vs fully disabled), computes the on/off ns-per-op
-# ratio, and fails when it regresses more than 5 percentage points over
-# the checked-in baseline (scripts/obs_overhead_baseline.txt).
+# Runs BenchmarkObsOverhead, which A/Bs the full default APC cycle
+# (observability collector + telemetry collector both live) against the
+# same cycle with each layer individually disabled, and computes two
+# on/off ns-per-op ratios:
+#
+#   obs ratio — default / obs-collector-disabled
+#   tel ratio — default / telemetry-collector-disabled
+#
+# Each ratio fails when it regresses more than 5 percentage points over
+# its checked-in baseline (scripts/obs_overhead_baseline.txt).
 #
 # Usage:
 #   scripts/check_obs_overhead.sh            # gate against the baseline
@@ -16,37 +22,44 @@ baseline_file=scripts/obs_overhead_baseline.txt
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
-# -count 3: the gate uses the per-variant minimum, which strips scheduler
+# -count 5: the gate uses the per-variant minimum, which strips scheduler
 # and frequency noise better than a mean on shared CI runners.
-go test -run '^$' -bench 'BenchmarkObsOverhead' -benchtime 200x -count 3 . | tee "$out"
+go test -run '^$' -bench 'BenchmarkObsOverhead' -benchtime 500x -count 5 . | tee "$out"
 
-ratio=$(awk '
-	/BenchmarkObsOverhead\/obs=on/  { if (!on  || $3 < on)  on  = $3 }
-	/BenchmarkObsOverhead\/obs=off/ { if (!off || $3 < off) off = $3 }
+ratios=$(awk '
+	/BenchmarkObsOverhead\/obs=on/  { if (!on    || $3 < on)    on    = $3 }
+	/BenchmarkObsOverhead\/obs=off/ { if (!noobs || $3 < noobs) noobs = $3 }
+	/BenchmarkObsOverhead\/tel=off/ { if (!notel || $3 < notel) notel = $3 }
 	END {
-		if (!on || !off) { print "parse-error"; exit }
-		printf "%.4f", on / off
+		if (!on || !noobs || !notel) { print "parse-error"; exit }
+		printf "obs %.4f\ntel %.4f\n", on / noobs, on / notel
 	}' "$out")
 
-if [ "$ratio" = "parse-error" ]; then
+if [ "$ratios" = "parse-error" ]; then
 	echo "check_obs_overhead: could not parse benchmark output" >&2
 	exit 2
 fi
-echo "obs on/off ratio: $ratio"
+echo "$ratios"
 
 if [ "${1:-}" = "-update" ]; then
-	printf '%s\n' "$ratio" >"$baseline_file"
+	printf '%s\n' "$ratios" >"$baseline_file"
 	echo "baseline updated: $baseline_file"
 	exit 0
 fi
 
-baseline=$(cat "$baseline_file")
-awk -v r="$ratio" -v b="$baseline" 'BEGIN {
-	limit = b + 0.05
-	printf "baseline %.4f, limit %.4f\n", b, limit
-	if (r > limit) {
-		printf "FAIL: observability overhead ratio %.4f exceeds baseline %.4f by more than 5%%\n", r, b
-		exit 1
-	}
-	print "OK: within 5% of baseline"
-}'
+printf '%s\n' "$ratios" | while read -r layer ratio; do
+	baseline=$(awk -v l="$layer" '$1 == l { print $2 }' "$baseline_file")
+	if [ -z "$baseline" ]; then
+		echo "check_obs_overhead: no $layer baseline in $baseline_file (run with -update)" >&2
+		exit 2
+	fi
+	awk -v layer="$layer" -v r="$ratio" -v b="$baseline" 'BEGIN {
+		limit = b + 0.05
+		printf "%s: ratio %.4f, baseline %.4f, limit %.4f\n", layer, r, b, limit
+		if (r > limit) {
+			printf "FAIL: %s overhead ratio %.4f exceeds baseline %.4f by more than 5%%\n", layer, r, b
+			exit 1
+		}
+		printf "OK: %s within 5%% of baseline\n", layer
+	}'
+done
