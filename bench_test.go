@@ -372,6 +372,68 @@ func BenchmarkMultiSession(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanCompile measures the plan-compilation pipeline on the
+// standard DJ Star graph: the CSR + rank compile itself, and the
+// cost-guided fusion pass on top of it. Both run at engine start-up (or
+// RecompileFused), never on the audio path, but regressions here delay
+// session bring-up and plan swaps.
+func BenchmarkPlanCompile(b *testing.B) {
+	_, g, err := graph.BuildDJStar(benchGraphConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := g.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	costs := rescon.PaperCostsUS(plan)
+	b.Run("compile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Compile(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fuse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.Fuse(plan, costs, graph.FuseOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFusedCycle A/Bs one busy-wait APC cycle with chain fusion off
+// (the default, the paper's configuration) and on. CI gates the on/off
+// ratio (scripts/check_obs_overhead.sh): fusion must never make the
+// cycle slower.
+func BenchmarkFusedCycle(b *testing.B) {
+	run := func(b *testing.B, fuse bool) {
+		e, err := engine.New(engine.Config{
+			Graph:    benchGraphConfig(),
+			Strategy: sched.NameBusyWait,
+			Threads:  4,
+			FusePlan: fuse,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(e.Close)
+		for i := 0; i < 20; i++ {
+			e.Cycle(nil)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Cycle(nil)
+		}
+	}
+	b.Run("fusion=off", func(b *testing.B) { run(b, false) })
+	b.Run("fusion=on", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkSubstrates measures the main DSP substrates per packet, the
 // raw kernels the graph nodes are built from.
 func BenchmarkSubstrates(b *testing.B) {

@@ -10,6 +10,7 @@
 //	djanalyze set.wav other.wav     # analyze 16-bit stereo 44.1 kHz WAVs
 //	djanalyze -bars 32 -waveform    # longer tracks, draw waveforms
 //	djanalyze -graph                # task-graph critical-path analysis
+//	djanalyze -graph -fused         # ... plus the cost-guided fused topology
 //	djanalyze -incident i.json      # replay a flight-recorder bundle
 //
 // With -graph it instead profiles the live task graph: per-node mean
@@ -53,6 +54,7 @@ func main() {
 		cycles    = flag.Int("cycles", 2000, "measurement cycles for -graph")
 		scale     = flag.Float64("scale", 0.2, "node cost scale for -graph")
 		threads   = flag.Int("threads", 4, "threads for -graph strategy runs")
+		fused     = flag.Bool("fused", false, "with -graph: also print the cost-guided fused topology")
 		incident  = flag.String("incident", "", "replay this flight-recorder incident bundle")
 	)
 	flag.Parse()
@@ -64,7 +66,7 @@ func main() {
 		return
 	}
 	if *graphMode {
-		if err := analyzeGraph(*cycles, *scale, *threads); err != nil {
+		if err := analyzeGraph(*cycles, *scale, *threads, *fused); err != nil {
 			fatal(err)
 		}
 		return
@@ -134,7 +136,7 @@ func main() {
 // to the RESCON-style bound. The critical path is a true lower bound, so
 // cp ≤ measured must hold for every strategy; the tool exits non-zero if
 // the measurement ever contradicts the theory.
-func analyzeGraph(cycles int, scale float64, threads int) error {
+func analyzeGraph(cycles int, scale float64, threads int, fused bool) error {
 	cfg := graph.DefaultConfig()
 	cfg.Scale = scale
 	if scale > 0 {
@@ -150,6 +152,13 @@ func analyzeGraph(cycles int, scale float64, threads int) error {
 	fmt.Printf("critical path (%d nodes, %.1f µs):\n  %s\n\n", len(ps.Nodes), ps.LengthUS, ps.String())
 	fmt.Printf("parallelism (work / critical path): %.2f\n", ps.Parallelism)
 	fmt.Printf("bound at %d threads: %.1f µs\n\n", threads, ps.Bound(threads))
+
+	printRankTable(plan, means)
+	if fused {
+		if err := printFusedTopology(plan, means); err != nil {
+			return err
+		}
+	}
 
 	var rows [][]string
 	for _, name := range []string{sched.NameBusyWait, sched.NameSleep, sched.NameWorkSteal} {
@@ -181,6 +190,63 @@ func analyzeGraph(cycles int, scale float64, threads int) error {
 	}
 	fmt.Print(stats.RenderTable(
 		[]string{"strategy", "measured µs", "critpath µs", "bound µs", "efficiency"}, rows))
+	return nil
+}
+
+// printRankTable shows the head of the compile-time HEFT-style rank
+// order — the priority the schedulers use for round-robin lists, deque
+// seeding and claim order — alongside each node's measured mean.
+func printRankTable(plan *graph.Plan, meansUS []float64) {
+	const top = 12
+	var rows [][]string
+	for i, id := range plan.RankOrder {
+		if i >= top {
+			break
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i),
+			plan.Names[id],
+			plan.Kinds[id].String(),
+			fmt.Sprintf("%d", plan.Depth[id]),
+			fmt.Sprintf("%.1f", plan.Rank[id]),
+			fmt.Sprintf("%.1f", meansUS[id]),
+		})
+	}
+	fmt.Printf("rank order (top %d of %d; upward rank, unit costs):\n", min(top, plan.Len()), plan.Len())
+	fmt.Print(stats.RenderTable(
+		[]string{"#", "node", "kind", "depth", "rank", "mean µs"}, rows))
+	fmt.Println()
+}
+
+// printFusedTopology fuses the plan under its measured node means and
+// prints the resulting super-node layout — what the engine would run
+// with Config.FusePlan on.
+func printFusedTopology(plan *graph.Plan, meansUS []float64) error {
+	fp, err := graph.Fuse(plan, meansUS, graph.FuseOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fused topology: %d nodes -> %d units (%d multi-member):\n",
+		plan.Len(), fp.Len(), fp.FusedUnits())
+	var rows [][]string
+	for _, id := range fp.RankOrder {
+		members := fp.MembersOf(id)
+		var cost float64
+		names := make([]string, len(members))
+		for i, m := range members {
+			cost += meansUS[m]
+			names[i] = plan.Names[m]
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", len(members)),
+			fmt.Sprintf("%.1f", cost),
+			fmt.Sprintf("%.1f", fp.Rank[id]),
+			strings.Join(names, " → "),
+		})
+	}
+	fmt.Print(stats.RenderTable(
+		[]string{"len", "cost µs", "rank", "members (rank order)"}, rows))
+	fmt.Println()
 	return nil
 }
 

@@ -9,7 +9,7 @@
 //
 // Experiments: table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines,
 // profile, threadsweep, ablation, staticvsonline, designspace, nodecosts,
-// multisession, chaos, governor, critpath, obsoverhead, slo, all.
+// multisession, chaos, governor, critpath, obsoverhead, slo, fusion, all.
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"djstar/internal/exp"
@@ -30,15 +31,50 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines, profile, threadsweep, ablation, staticvsonline, designspace, nodecosts, multisession, chaos, governor, critpath, obsoverhead, slo, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines, profile, threadsweep, ablation, staticvsonline, designspace, nodecosts, multisession, chaos, governor, critpath, obsoverhead, slo, fusion, all)")
 		cycles     = flag.Int("cycles", 10000, "APC iterations per measurement (paper: 10000)")
 		scale      = flag.Float64("scale", 1.0, "node cost scale (1.0 = paper scale, 0 = pure DSP)")
 		threads    = flag.Int("threads", 4, "maximum thread count (paper: 4)")
 		quick      = flag.Bool("quick", false, "fast smoke settings (300 cycles, scale 0.05)")
 		csvDir     = flag.String("csv", "", "also write table1.csv and fig9_samples.csv to this directory")
 		httpAddr   = flag.String("http", "", "serve net/http/pprof on this address (e.g. :6060) while benchmarking")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile taken after the experiments to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "djbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "djbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("(wrote %s)\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "djbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "djbench: -memprofile: %v\n", err)
+				return
+			}
+			fmt.Printf("(wrote %s)\n", *memProfile)
+		}()
+	}
 
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
@@ -109,6 +145,7 @@ func main() {
 		{"critpath", wrap(exp.CritPath)},
 		{"obsoverhead", wrap(exp.ObsOverhead)},
 		{"slo", wrap(exp.SLO)},
+		{"fusion", wrap(exp.Fusion)},
 	}
 
 	// Interrupts are honored at driver boundaries: the in-flight

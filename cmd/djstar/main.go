@@ -53,6 +53,7 @@ func main() {
 		httpAddr = flag.String("http", "", `serve live observability on this address (e.g. ":6060"): /debug/pprof/, /api/snapshot, /api/critpath, /api/trace, /metrics, /api/slo`)
 		metrics  = flag.String("metrics", "", `serve just the telemetry endpoint on this address (e.g. ":9090"): /metrics (OpenMetrics), /api/slo`)
 		incDir   = flag.String("incident-dir", "", "write flight-recorder incident bundles to this directory (replay with djanalyze -incident)")
+		fuse     = flag.Bool("fuse", false, "compile the execution plan with cost-guided chain fusion (DESIGN.md §13)")
 	)
 	flag.Parse()
 
@@ -73,6 +74,7 @@ func main() {
 		Graph:          gc,
 		Strategy:       *strategy,
 		Threads:        *threads,
+		FusePlan:       *fuse,
 		DVS:            *dvs,
 		CollectSamples: false,
 		Watchdog:       *watchdog,

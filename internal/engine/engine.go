@@ -23,6 +23,7 @@ import (
 	"djstar/internal/audio"
 	"djstar/internal/graph"
 	"djstar/internal/obs"
+	"djstar/internal/rescon"
 	"djstar/internal/sched"
 	"djstar/internal/stats"
 	"djstar/internal/telemetry"
@@ -59,6 +60,16 @@ type Config struct {
 	// set. With Strategy == sched.NamePool and no Pool, the engine owns
 	// a private single-session pool of Threads-1 workers.
 	Pool *sched.Pool
+	// FusePlan compiles the execution plan through graph.Fuse: linear
+	// same-kind chains collapse into fused units that are claimed once
+	// and run back-to-back, cutting per-cycle scheduling overhead. The
+	// initial fusion uses the static design-cost table
+	// (rescon.PaperCostsUS); call RecompileFused once the collector has
+	// measured real node costs to re-fuse online. Off by default — the
+	// paper-reproduction experiments run the unfused 67-node graph.
+	FusePlan bool
+	// Fuse tunes the fusion pass when FusePlan is set (zero = defaults).
+	Fuse graph.FuseOptions
 	// CollectSamples retains per-cycle timing samples in the metrics
 	// (needed for histograms; costs 8 bytes × cycles × 2).
 	CollectSamples bool
@@ -148,8 +159,19 @@ type ObsOptions struct {
 type Engine struct {
 	cfg     Config
 	session *graph.Session
-	plan    *graph.Plan
-	sched   sched.Scheduler
+	// plan is the original compiled graph — the node-ID space of the
+	// collector, governor, watchdog, telemetry and every public API.
+	plan *graph.Plan
+	// execPlan is what the scheduler actually runs: plan itself, or its
+	// fused compilation when Config.FusePlan / RecompileFused installed
+	// one. Only the Cycle thread reads or replaces it.
+	execPlan *graph.Plan
+	sched    sched.Scheduler
+	// pendingSwap holds a recompiled scheduler waiting to be adopted at
+	// the next cycle boundary (see RecompileFused).
+	pendingSwap atomic.Pointer[schedSwap]
+	// planEpoch counts adopted plan swaps (0 = construction plan).
+	planEpoch atomic.Uint64
 	// ownedPool is the private pool behind Strategy == sched.NamePool
 	// (nil when a shared Pool was supplied or another strategy is used).
 	ownedPool *sched.Pool
@@ -225,6 +247,16 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	execPlan := plan
+	if cfg.FusePlan {
+		// Initial fusion from the static design-cost table; once the
+		// collector has real measurements, RecompileFused re-fuses from
+		// them without stopping the audio.
+		execPlan, err = graph.Fuse(plan, rescon.PaperCostsUS(plan), cfg.Fuse)
+		if err != nil {
+			return nil, err
+		}
+	}
 	threads := cfg.Threads
 	if cfg.Strategy == sched.NameSequential {
 		threads = 1
@@ -254,16 +286,16 @@ func New(cfg Config) (*Engine, error) {
 	switch {
 	case cfg.Pool != nil:
 		// Shared-pool mode: this engine is one session among many.
-		scheduler, err2 = cfg.Pool.Attach(plan, opts)
+		scheduler, err2 = cfg.Pool.Attach(execPlan, opts)
 	case cfg.Strategy == sched.NamePool:
 		// Private single-session pool: Threads-1 helper workers plus the
 		// cycle caller, matching the parallelism of the other strategies.
 		ownedPool, err2 = sched.NewPool(threads-1, 1)
 		if err2 == nil {
-			scheduler, err2 = ownedPool.Attach(plan, opts)
+			scheduler, err2 = ownedPool.Attach(execPlan, opts)
 		}
 	default:
-		scheduler, err2 = sched.New(cfg.Strategy, plan, opts)
+		scheduler, err2 = sched.New(cfg.Strategy, execPlan, opts)
 	}
 	if err2 != nil {
 		if ownedPool != nil {
@@ -276,6 +308,7 @@ func New(cfg Config) (*Engine, error) {
 		cfg:         cfg,
 		session:     session,
 		plan:        plan,
+		execPlan:    execPlan,
 		sched:       scheduler,
 		ownedPool:   ownedPool,
 		col:         collector,
@@ -437,6 +470,89 @@ func (e *Engine) Scheduler() sched.Scheduler { return e.sched }
 // ObsOptions.Disable).
 func (e *Engine) Collector() *obs.Collector { return e.col }
 
+// ExecPlan exposes the plan the scheduler is actually running: Plan()
+// itself, or its fused compilation. Cycle-thread callers only — the
+// execution plan changes at cycle boundaries after RecompileFused.
+func (e *Engine) ExecPlan() *graph.Plan { return e.execPlan }
+
+// PlanEpoch counts execution-plan swaps adopted so far (0 = the
+// construction-time plan is still live). Safe from any thread.
+func (e *Engine) PlanEpoch() uint64 { return e.planEpoch.Load() }
+
+// schedSwap is a recompiled execution plan plus its ready scheduler,
+// parked until the cycle boundary adopts it.
+type schedSwap struct {
+	plan  *graph.Plan
+	sched sched.Scheduler
+}
+
+// RecompileFused compiles a new fused execution plan and stages it for
+// adoption at the next cycle boundary — the audio never stops: the
+// current cycle finishes on the old scheduler, the next starts on the
+// new one. costsUS supplies per-node cost estimates in µs (base-plan
+// IDs); nil means "best available" — the collector's measured means when
+// at least one cycle has been observed, else the static design table.
+//
+// The engine's public node-ID space is unchanged: the collector,
+// governor, watchdog, telemetry and Health still see base nodes. Safe to
+// call from any thread; concurrent calls race benignly (the last staged
+// swap wins, earlier ones are closed untaken). Engines attached to a
+// worker pool (Config.Pool or the pool strategy) cannot swap.
+func (e *Engine) RecompileFused(costsUS []float64) error {
+	if e.cfg.Pool != nil || e.ownedPool != nil {
+		return fmt.Errorf("engine: RecompileFused is not supported for pool-attached engines")
+	}
+	if costsUS == nil {
+		if e.col != nil {
+			if m, ok := e.col.CostModel(); ok {
+				costsUS = m
+			}
+		}
+		if costsUS == nil {
+			costsUS = rescon.PaperCostsUS(e.plan)
+		}
+	}
+	fused, err := graph.Fuse(e.plan, costsUS, e.cfg.Fuse)
+	if err != nil {
+		return err
+	}
+	threads := e.sched.Threads()
+	var observer sched.Observer
+	if e.col != nil {
+		observer = e.col
+	}
+	s, err := sched.New(e.sched.Name(), fused, sched.Options{Threads: threads, Observer: observer})
+	if err != nil {
+		return err
+	}
+	s.SetFaultPolicy(e.cfg.FaultPolicy)
+	if old := e.pendingSwap.Swap(&schedSwap{plan: fused, sched: s}); old != nil {
+		old.sched.Close()
+	}
+	return nil
+}
+
+// adoptSwap installs a staged scheduler at the cycle boundary: the fault
+// handler and current shed levels are re-applied to the fresh fault
+// state, the governor and watchdog are retargeted, and the old
+// scheduler's workers are released. Cycle thread only.
+func (e *Engine) adoptSwap(sw *schedSwap) {
+	old := e.sched
+	e.sched = sw.sched
+	e.execPlan = sw.plan
+	if e.tel != nil || e.cfg.Hooks.OnFault != nil {
+		e.sched.SetFaultHandler(e.onFault)
+	}
+	if e.gov != nil {
+		e.gov.retarget(e.sched)
+	}
+	if e.wd != nil {
+		e.wd.retarget(e.sched)
+	}
+	e.planEpoch.Add(1)
+	old.Close()
+}
+
 // Close releases the scheduler workers and restores the GC setting.
 func (e *Engine) Close() {
 	if e.closed {
@@ -448,6 +564,9 @@ func (e *Engine) Close() {
 	}
 	if e.flight != nil {
 		e.flight.Flush()
+	}
+	if sw := e.pendingSwap.Swap(nil); sw != nil {
+		sw.sched.Close()
 	}
 	e.sched.Close()
 	if e.ownedPool != nil {
@@ -541,6 +660,14 @@ func (e *Engine) StampMetrics(m *Metrics) {
 
 // Cycle executes one APC, accumulating into m (which may be nil).
 func (e *Engine) Cycle(m *Metrics) {
+	// Adopt a staged plan recompilation first, so the whole cycle runs on
+	// one scheduler. The Load on the nil fast path is one uncontended
+	// atomic read.
+	if e.pendingSwap.Load() != nil {
+		if sw := e.pendingSwap.Swap(nil); sw != nil {
+			e.adoptSwap(sw)
+		}
+	}
 	t0 := time.Now()
 
 	// TP: timecode processing. Generate each turntable's control packet

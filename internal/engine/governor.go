@@ -179,16 +179,7 @@ func (g *governor) observe(apcMS, graphMS float64) {
 // load factor, and the change notification.
 func (g *governor) transition(from, to GovLevel) {
 	g.level.Store(int32(to))
-	shedUI := to >= GovDegraded1
-	shedFX := to >= GovDegraded2
-	for i, k := range g.plan.Kinds {
-		switch k {
-		case graph.KindMeter, graph.KindControl:
-			g.sched.SetNodeShed(int32(i), shedUI)
-		case graph.KindFX:
-			g.sched.SetNodeShed(int32(i), shedFX)
-		}
-	}
+	g.applyShed(to)
 	f := 1.0
 	if to >= GovCritical {
 		f = g.cfg.CriticalFactor
@@ -197,4 +188,28 @@ func (g *governor) transition(from, to GovLevel) {
 	if g.onChange != nil {
 		g.onChange(from, to)
 	}
+}
+
+// applyShed pushes the shed bits implied by a level into the scheduler.
+// The plan here is always the BASE plan — shed bits are per base node,
+// which the fault state honours on fused plans too.
+func (g *governor) applyShed(level GovLevel) {
+	shedUI := level >= GovDegraded1
+	shedFX := level >= GovDegraded2
+	for i, k := range g.plan.Kinds {
+		switch k {
+		case graph.KindMeter, graph.KindControl:
+			g.sched.SetNodeShed(int32(i), shedUI)
+		case graph.KindFX:
+			g.sched.SetNodeShed(int32(i), shedFX)
+		}
+	}
+}
+
+// retarget points the governor at a freshly swapped scheduler and
+// replays the current level's shed bits into its clean fault state.
+// Cycle thread only (like observe/transition).
+func (g *governor) retarget(s sched.Scheduler) {
+	g.sched = s
+	g.applyShed(g.Level())
 }

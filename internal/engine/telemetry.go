@@ -71,7 +71,7 @@ func (e *Engine) fillIncident(inc *telemetry.Incident) {
 	inc.Graph = telemetry.GraphInfo{
 		Names: e.plan.Names,
 		Order: e.plan.Order,
-		Preds: e.plan.Preds,
+		Preds: e.plan.PredLists(),
 	}
 	if e.col == nil {
 		return

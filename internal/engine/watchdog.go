@@ -35,9 +35,12 @@ type StallRecord struct {
 // turning a silent hang into an actionable diagnostic. Detection is
 // level-triggered once per cycle.
 type watchdog struct {
-	sched sched.Scheduler
-	plan  *graph.Plan
-	wall  time.Duration
+	// sref holds the watched scheduler behind a pointer so the cycle
+	// thread can retarget it after a plan swap while the monitor
+	// goroutine reads it concurrently.
+	sref atomic.Pointer[schedBox]
+	plan *graph.Plan
+	wall time.Duration
 
 	// startNs is the armed graph-execution start time (0 = not armed).
 	startNs atomic.Int64
@@ -56,18 +59,27 @@ type watchdog struct {
 	done chan struct{}
 }
 
+// schedBox wraps the Scheduler interface for atomic.Pointer (interfaces
+// with varying concrete types cannot go into atomic.Value directly).
+type schedBox struct{ s sched.Scheduler }
+
 func newWatchdog(s sched.Scheduler, p *graph.Plan, wall time.Duration, onStall func(StallRecord)) *watchdog {
 	w := &watchdog{
-		sched:   s,
 		plan:    p,
 		wall:    wall,
 		onStall: onStall,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	w.sref.Store(&schedBox{s: s})
 	go w.monitor()
 	return w
 }
+
+// retarget points the watchdog at a freshly swapped scheduler. The old
+// scheduler's Inflight remains readable after Close, so a mid-poll race
+// at worst reads the retiring scheduler's idle state once.
+func (w *watchdog) retarget(s sched.Scheduler) { w.sref.Store(&schedBox{s: s}) }
 
 // arm marks the start of a graph execution (cycle thread).
 func (w *watchdog) arm(cycle uint64) {
@@ -138,8 +150,9 @@ func (w *watchdog) diagnose(gen uint64, elapsed time.Duration) StallRecord {
 		ElapsedMS: float64(elapsed) / 1e6,
 	}
 	var b strings.Builder
-	for wk := int32(0); wk < int32(w.sched.Threads()); wk++ {
-		in := w.sched.Inflight(wk)
+	s := w.sref.Load().s
+	for wk := int32(0); wk < int32(s.Threads()); wk++ {
+		in := s.Inflight(wk)
 		if in == 0 {
 			continue
 		}

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFusionShape(t *testing.T) {
+	var buf bytes.Buffer
+	o := quickOpts(&buf)
+	o.Cycles = 200
+	res, err := Fusion(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != fusionChains*fusionChainLen+3 {
+		t.Fatalf("Nodes = %d", res.Nodes)
+	}
+	if res.FusedNodes >= res.Nodes {
+		t.Fatalf("fusion did not shrink the plan: %d -> %d", res.Nodes, res.FusedNodes)
+	}
+	if res.FusedUnits == 0 {
+		t.Fatal("no multi-member fused units")
+	}
+	if len(res.Rows) != len(fusionStrategies) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(fusionStrategies))
+	}
+	for _, r := range res.Rows {
+		if r.OffNSPerNode <= 0 || r.OnNSPerNode <= 0 {
+			t.Fatalf("%s: non-positive measurement %+v", r.Strategy, r)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"spin-cycle benchmark graph", "ns/node off", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

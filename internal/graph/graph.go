@@ -190,32 +190,110 @@ type Plan struct {
 	// Order is the queue insertion order: ascending depth, ties broken by
 	// node ID ("column by column and from left to right", paper §IV).
 	Order []int32
-	// Preds and Succs are the dependency lists per node.
-	Preds, Succs [][]int32
-	// Indegree is len(Preds[i]) as int32, precomputed for the schedulers.
+	// Dependency adjacency in CSR (compressed sparse row) form: the
+	// predecessors of node i are PredList[PredIdx[i]:PredIdx[i+1]], its
+	// successors SuccList[SuccIdx[i]:SuccIdx[i+1]]. One flat array per
+	// direction keeps the per-cycle release walk on contiguous cache
+	// lines instead of chasing one heap slice per node. Use PredsOf /
+	// SuccsOf; do not modify.
+	PredIdx, PredList []int32
+	SuccIdx, SuccList []int32
+	// Indegree is the predecessor count per node, precomputed for the
+	// schedulers' pending-counter reset.
 	Indegree []int32
 	// Depth is the longest path (in edges) from any source to the node.
 	Depth []int32
+	// Rank is the HEFT-style upward rank: the node's cost plus the most
+	// expensive downstream path to a sink. Compile fills it with unit
+	// costs (rank = longest hop count below, a pure structure metric);
+	// Fuse recomputes it from real per-node cost estimates.
+	Rank []float64
+	// RankOrder lists all node IDs by descending Rank, ties broken by
+	// Order position. Because every edge u→v implies Rank(u) > Rank(v)
+	// for positive costs, RankOrder is itself a valid topological order —
+	// the schedulers use it so critical-path nodes are claimed first.
+	RankOrder []int32
+	// SourceIDs lists all dependency-free nodes in ID order, precomputed
+	// so Sources() on the per-cycle path never allocates.
+	SourceIDs []int32
 	// SourcesBySection lists dependency-free nodes grouped by section, in
 	// ID order; used by work stealing's locality-aware initial fill.
 	SourcesBySection map[Section][]int32
 	// CriticalPathLen is the number of nodes on the longest path.
 	CriticalPathLen int
+
+	// Base and Members are set only on plans produced by Fuse: Base is
+	// the original unfused plan and Members[i] lists the base-plan node
+	// IDs executed (in dependency order) by fused node i. Observability
+	// and fault isolation stay per-member: the scheduler runs, times and
+	// quarantines each member individually under its base ID.
+	Base    *Plan
+	Members [][]int32
 }
 
 // Len returns the number of nodes in the plan.
 func (p *Plan) Len() int { return len(p.Run) }
 
-// Sources returns all dependency-free node IDs in ID order.
-func (p *Plan) Sources() []int32 {
-	var out []int32
-	for i, d := range p.Indegree {
-		if d == 0 {
-			out = append(out, int32(i))
-		}
+// BaseLen returns the node count of the original plan: Len() for a
+// regular plan, Base.Len() for a fused one. Observer and fault-state
+// arrays are sized by BaseLen because they are indexed by base node IDs.
+func (p *Plan) BaseLen() int {
+	if p.Base != nil {
+		return p.Base.Len()
+	}
+	return p.Len()
+}
+
+// IsFused reports whether the plan was produced by Fuse.
+func (p *Plan) IsFused() bool { return p.Base != nil }
+
+// MembersOf returns the base-plan node IDs fused into node id, or nil if
+// the plan is unfused (execute id directly).
+func (p *Plan) MembersOf(id int32) []int32 {
+	if p.Members == nil {
+		return nil
+	}
+	return p.Members[id]
+}
+
+// PredsOf returns the predecessor IDs of node id (do not modify).
+func (p *Plan) PredsOf(id int32) []int32 {
+	return p.PredList[p.PredIdx[id]:p.PredIdx[id+1]]
+}
+
+// SuccsOf returns the successor IDs of node id (do not modify).
+func (p *Plan) SuccsOf(id int32) []int32 {
+	return p.SuccList[p.SuccIdx[id]:p.SuccIdx[id+1]]
+}
+
+// PredLists materializes the per-node predecessor lists (always non-nil,
+// so they serialize as [] rather than null). It allocates; use it for
+// serialization and offline analysis, not on the cycle path.
+func (p *Plan) PredLists() [][]int32 {
+	out := make([][]int32, p.Len())
+	for i := range out {
+		seg := p.PredsOf(int32(i))
+		out[i] = make([]int32, len(seg))
+		copy(out[i], seg)
 	}
 	return out
 }
+
+// SuccLists materializes the per-node successor lists (allocates;
+// entries are always non-nil, like PredLists).
+func (p *Plan) SuccLists() [][]int32 {
+	out := make([][]int32, p.Len())
+	for i := range out {
+		seg := p.SuccsOf(int32(i))
+		out[i] = make([]int32, len(seg))
+		copy(out[i], seg)
+	}
+	return out
+}
+
+// Sources returns all dependency-free node IDs in ID order. The slice is
+// precomputed at compile time (do not modify).
+func (p *Plan) Sources() []int32 { return p.SourceIDs }
 
 // Compile validates the graph (non-empty, acyclic) and produces a Plan.
 func (g *Graph) Compile() (*Plan, error) {
@@ -276,13 +354,12 @@ func (g *Graph) Compile() (*Plan, error) {
 		Bypass:           make([]func(), n),
 		Flush:            make([]func(), n),
 		Order:            order,
-		Preds:            make([][]int32, n),
-		Succs:            make([][]int32, n),
 		Indegree:         indeg,
 		Depth:            depth,
 		SourcesBySection: make(map[Section][]int32),
 	}
 	maxDepth := int32(0)
+	edges := 0
 	for _, node := range g.nodes {
 		i := node.ID
 		p.Names[i] = node.Name
@@ -291,17 +368,130 @@ func (g *Graph) Compile() (*Plan, error) {
 		p.Run[i] = node.Run
 		p.Bypass[i] = node.Bypass
 		p.Flush[i] = node.Flush
-		p.Preds[i] = toInt32(node.deps)
-		p.Succs[i] = toInt32(node.succs)
+		edges += len(node.deps)
 		if depth[i] > maxDepth {
 			maxDepth = depth[i]
 		}
 		if len(node.deps) == 0 {
+			p.SourceIDs = append(p.SourceIDs, int32(i))
 			p.SourcesBySection[node.Section] = append(p.SourcesBySection[node.Section], int32(i))
 		}
 	}
 	p.CriticalPathLen = int(maxDepth) + 1
+
+	// CSR adjacency: one offset array plus one flat ID array per
+	// direction, so the scheduler's dependency walks touch contiguous
+	// memory.
+	p.PredIdx = make([]int32, n+1)
+	p.SuccIdx = make([]int32, n+1)
+	p.PredList = make([]int32, 0, edges)
+	p.SuccList = make([]int32, 0, edges)
+	for _, node := range g.nodes {
+		p.PredList = append(p.PredList, toInt32(node.deps)...)
+		p.PredIdx[node.ID+1] = int32(len(p.PredList))
+		p.SuccList = append(p.SuccList, toInt32(node.succs)...)
+		p.SuccIdx[node.ID+1] = int32(len(p.SuccList))
+	}
+
+	p.computeRanks(nil)
 	return p, nil
+}
+
+// computeRanks fills Rank and RankOrder from per-node costs in µs (nil =
+// unit costs) and sorts each node's successor segment by descending rank
+// so the release walk wakes the most critical successor first. Rank is
+// the classic HEFT upward rank on a single machine class:
+//
+//	rank(i) = cost(i) + max over successors s of rank(s)
+//
+// Every edge u→v therefore gives Rank(u) ≥ Rank(v) + cost(u) > Rank(v)
+// when costs are positive, so descending rank is a topological order and
+// the list-based schedulers can substitute RankOrder for Order without
+// touching their deadlock-freedom argument.
+func (p *Plan) computeRanks(costUS []float64) {
+	n := p.Len()
+	p.Rank = make([]float64, n)
+	cost := func(id int32) float64 {
+		if costUS == nil {
+			return 1
+		}
+		return costUS[id]
+	}
+	// Order is topological, so a reverse sweep sees all successors first.
+	for i := n - 1; i >= 0; i-- {
+		id := p.Order[i]
+		best := 0.0
+		for _, s := range p.SuccsOf(id) {
+			if p.Rank[s] > best {
+				best = p.Rank[s]
+			}
+		}
+		p.Rank[id] = cost(id) + best
+	}
+
+	posOf := make([]int32, n)
+	for pos, id := range p.Order {
+		posOf[id] = int32(pos)
+	}
+	p.RankOrder = make([]int32, n)
+	for i := range p.RankOrder {
+		p.RankOrder[i] = int32(i)
+	}
+	sort.SliceStable(p.RankOrder, func(a, b int) bool {
+		x, y := p.RankOrder[a], p.RankOrder[b]
+		if p.Rank[x] != p.Rank[y] {
+			return p.Rank[x] > p.Rank[y]
+		}
+		return posOf[x] < posOf[y]
+	})
+	for id := int32(0); id < int32(n); id++ {
+		seg := p.SuccList[p.SuccIdx[id]:p.SuccIdx[id+1]]
+		sort.SliceStable(seg, func(a, b int) bool {
+			return p.Rank[seg[a]] > p.Rank[seg[b]]
+		})
+	}
+}
+
+// PlanFromLists rebuilds a structural Plan (names, order, CSR adjacency,
+// no-op run functions) from per-node predecessor lists — the shape a
+// flight-recorder bundle serializes. The result supports the offline
+// analyses (Validate, critical path) but is not executable.
+func PlanFromLists(names []string, order []int32, preds [][]int32) *Plan {
+	n := len(names)
+	p := &Plan{
+		Names:    append([]string(nil), names...),
+		Sections: make([]Section, n),
+		Kinds:    make([]NodeKind, n),
+		Run:      make([]func(), n),
+		Bypass:   make([]func(), n),
+		Flush:    make([]func(), n),
+		Order:    append([]int32(nil), order...),
+		Indegree: make([]int32, n),
+		Depth:    make([]int32, n),
+	}
+	for i := range p.Run {
+		p.Run[i] = func() {}
+	}
+	succs := make([][]int32, n)
+	p.PredIdx = make([]int32, n+1)
+	p.SuccIdx = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		p.PredList = append(p.PredList, preds[i]...)
+		p.PredIdx[i+1] = int32(len(p.PredList))
+		p.Indegree[i] = int32(len(preds[i]))
+		for _, d := range preds[i] {
+			succs[d] = append(succs[d], int32(i))
+		}
+		if len(preds[i]) == 0 {
+			p.SourceIDs = append(p.SourceIDs, int32(i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		p.SuccList = append(p.SuccList, succs[i]...)
+		p.SuccIdx[i+1] = int32(len(p.SuccList))
+	}
+	p.computeRanks(nil)
+	return p
 }
 
 func toInt32(xs []int) []int32 {
@@ -322,8 +512,8 @@ func (p *Plan) Validate() error {
 	for pos, id := range p.Order {
 		posOf[id] = int32(pos)
 	}
-	for id, preds := range p.Preds {
-		for _, d := range preds {
+	for id := int32(0); id < int32(p.Len()); id++ {
+		for _, d := range p.PredsOf(id) {
 			if posOf[d] >= posOf[id] {
 				return fmt.Errorf("graph: order violates dependency %s -> %s",
 					p.Names[d], p.Names[id])

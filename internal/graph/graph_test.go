@@ -153,14 +153,14 @@ func TestDepthIsLongestPathProperty(t *testing.T) {
 		}
 		// depth(n) = 0 for sources, else 1 + max(depth(pred)).
 		for i := 0; i < p.Len(); i++ {
-			if len(p.Preds[i]) == 0 {
+			if len(p.PredsOf(int32(i))) == 0 {
 				if p.Depth[i] != 0 {
 					return false
 				}
 				continue
 			}
 			maxPred := int32(-1)
-			for _, d := range p.Preds[i] {
+			for _, d := range p.PredsOf(int32(i)) {
 				if p.Depth[d] > maxPred {
 					maxPred = p.Depth[d]
 				}
@@ -296,10 +296,7 @@ func TestWriteDOT(t *testing.T) {
 	// One edge line per dependency.
 	edges := strings.Count(out, "->")
 	p, _ := g.Compile()
-	wantEdges := 0
-	for _, preds := range p.Preds {
-		wantEdges += len(preds)
-	}
+	wantEdges := len(p.PredList)
 	if edges != wantEdges {
 		t.Fatalf("DOT has %d edges, want %d", edges, wantEdges)
 	}

@@ -95,7 +95,7 @@ func (t *ExecTrace) Check(p *Plan) error {
 		}
 	}
 	for i := 0; i < p.Len(); i++ {
-		for _, d := range p.Preds[i] {
+		for _, d := range p.PredsOf(int32(i)) {
 			if t.Stamp(int(d)) > t.Stamp(i) {
 				return fmt.Errorf("graph: node %d (%s) ran before dependency %d (%s)",
 					i, p.Names[i], d, p.Names[d])

@@ -42,7 +42,7 @@ func CriticalPath(p *graph.Plan, durUS []float64) PathStat {
 	for _, id := range p.Order {
 		via[id] = -1
 		start := 0.0
-		for _, pr := range p.Preds[id] {
+		for _, pr := range p.PredsOf(id) {
 			if finish[pr] > start {
 				start = finish[pr]
 				via[id] = pr

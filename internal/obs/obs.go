@@ -200,7 +200,7 @@ func (c *Collector) EndCycle() {
 		// actual start — the scheduling + blocking overhead the paper's
 		// strategy comparison is about.
 		ready := c.base
-		for _, pr := range c.plan.Preds[id] {
+		for _, pr := range c.plan.PredsOf(int32(id)) {
 			if c.worker[pr] >= 0 && c.end[pr] > ready {
 				ready = c.end[pr]
 			}
@@ -310,6 +310,21 @@ func (c *Collector) NodeMeansUS() []float64 {
 		}
 	}
 	return out
+}
+
+// CostModel exports the collector's per-node mean durations in µs as a
+// cost table for plan compilation (graph.Fuse and upward ranks). Nodes
+// never observed running report 0 — chain fusion treats them as free. ok
+// is false until at least one full cycle has been merged, so callers can
+// fall back to static design costs before any measurement exists.
+func (c *Collector) CostModel() (costUS []float64, ok bool) {
+	c.mu.Lock()
+	cycles := c.cycles
+	c.mu.Unlock()
+	if cycles == 0 {
+		return nil, false
+	}
+	return c.NodeMeansUS(), true
 }
 
 // percentileNS returns the q-quantile of the (unsorted, clobbered)

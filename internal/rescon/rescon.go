@@ -44,8 +44,8 @@ func FromPlan(p *graph.Plan, durUS []float64) (*Model, error) {
 	return &Model{
 		names: p.Names,
 		dur:   append([]float64(nil), durUS...),
-		preds: p.Preds,
-		succs: p.Succs,
+		preds: p.PredLists(),
+		succs: p.SuccLists(),
 		order: p.Order,
 	}, nil
 }

@@ -29,11 +29,17 @@ func NewBusyWait(p *graph.Plan, o Options) (*BusyWait, error) {
 	return &BusyWait{core: newCore(p, o.Threads, o.Observer, pol, waitSpin)}, nil
 }
 
-// roundRobinLists splits the queue order across threads: worker w gets
-// Order[w], Order[w+T], Order[w+2T], ...
+// roundRobinLists splits the compile-time rank order across threads:
+// worker w gets RankOrder[w], RankOrder[w+T], RankOrder[w+2T], ...
+// Dealing by descending upward rank hands out critical-path nodes first,
+// so the longest chains start as early as the dependencies allow.
+// RankOrder is itself a topological order (see graph.Plan.RankOrder), so
+// the deadlock-freedom argument for the spin lists is unchanged: every
+// worker's list is a subsequence of one global topological order, and a
+// busy-wait can only wait on a node earlier in that order.
 func roundRobinLists(p *graph.Plan, threads int) [][]int32 {
 	lists := make([][]int32, threads)
-	for i, id := range p.Order {
+	for i, id := range p.RankOrder {
 		w := i % threads
 		lists[w] = append(lists[w], id)
 	}
@@ -64,11 +70,11 @@ func (pol *listSpinPolicy) runCycle(c *core, w int32, gen uint64) {
 	obs := c.obs
 	for _, id := range pol.lists[w] {
 		// Dependency check with busy-waiting (paper Fig. 5).
-		for _, d := range c.plan.Preds[id] {
+		for _, d := range c.plan.PredsOf(id) {
 			d := d
-			spinWait(func() bool { return c.done[d].Load() == gen })
+			spinWait(func() bool { return c.done[d].v.Load() == gen })
 		}
 		c.exec(c.plan, obs, id, w, gen)
-		c.done[id].Store(gen)
+		c.done[id].v.Store(gen)
 	}
 }

@@ -251,7 +251,7 @@ func checkTolerant(p *graph.Plan, tr *graph.ExecTrace) error {
 		if tr.Stamp(i) == 0 {
 			continue
 		}
-		for _, d := range p.Preds[i] {
+		for _, d := range p.PredsOf(int32(i)) {
 			if s := tr.Stamp(int(d)); s != 0 && s > tr.Stamp(i) {
 				return fmt.Errorf("node %d ran before dependency %d", i, d)
 			}

@@ -42,6 +42,42 @@ const (
 	waitBlock
 )
 
+// cacheLine is the coherence granularity the hot cross-worker state is
+// padded to. 64 bytes covers x86-64 and current arm64 server cores.
+const cacheLine = 64
+
+// padUint64 is an atomic.Uint64 alone on its cache line: the leading pad
+// separates it from whatever field precedes it in the enclosing struct,
+// the trailing pad from whatever follows.
+type padUint64 struct {
+	_ [cacheLine]byte
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// padInt32 is an atomic.Int32 alone on its cache line.
+type padInt32 struct {
+	_ [cacheLine]byte
+	v atomic.Int32
+	_ [cacheLine - 4]byte
+}
+
+// doneStamp is one node's done generation, striped to a full cache line
+// so a worker publishing node i's completion never invalidates the line
+// a neighbor is spinning on for node i±1.
+type doneStamp struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// depCount is one node's pending-dependency counter, striped like
+// doneStamp: different workers decrement different nodes' counters
+// concurrently on every cycle.
+type depCount struct {
+	v atomic.Int32
+	_ [cacheLine - 4]byte
+}
+
 // core owns the worker pool and per-cycle machinery shared by all
 // parallel strategies: persistent OS-thread-pinned workers, the
 // generation/epoch dispatch that starts a cycle, completion signaling,
@@ -62,16 +98,22 @@ type core struct {
 
 	// done[i] stores the generation in which node i last completed; a
 	// node is done for the current cycle when done[i] == generation.
-	// Used by spin-discipline policies.
-	done []atomic.Uint64
+	// Used by spin-discipline policies. One cache line per node.
+	done []doneStamp
 	// pending[i] counts node i's unfinished dependencies this cycle.
-	// Used by block-discipline policies; reset via resetPending.
-	pending []atomic.Int32
+	// Used by block-discipline policies; reset via resetPending. One
+	// cache line per node.
+	pending []depCount
 
 	// generation is the cycle counter; waitSpin workers spin on it.
-	generation atomic.Uint64
-	// finished counts workers that completed the cycle (waitSpin).
-	finished atomic.Int32
+	// Padded: every worker reads it in its spin loop while worker 0
+	// writes finished-adjacent state, so it must not share a line with
+	// finished or the channels below.
+	generation padUint64
+	// finished counts workers that completed the cycle (waitSpin); all
+	// workers write it at the cycle tail while worker 0 spins reading
+	// it. Padded for the same reason as generation.
+	finished padInt32
 	// start and doneCh dispatch and collect cycles (waitBlock).
 	start  []chan struct{}
 	doneCh chan struct{}
@@ -90,8 +132,8 @@ func newCore(p *graph.Plan, threads int, obs Observer, pol policy, mode waitMode
 		obs:        obs,
 		pol:        pol,
 		mode:       mode,
-		done:       make([]atomic.Uint64, p.Len()),
-		pending:    make([]atomic.Int32, p.Len()),
+		done:       make([]doneStamp, p.Len()),
+		pending:    make([]depCount, p.Len()),
 	}
 	if mode == waitBlock {
 		c.start = make([]chan struct{}, threads)
@@ -111,7 +153,7 @@ func newCore(p *graph.Plan, threads int, obs Observer, pol policy, mode waitMode
 // before any worker is released.
 func (c *core) resetPending() {
 	for i := range c.pending {
-		c.pending[i].Store(c.plan.Indegree[i])
+		c.pending[i].v.Store(c.plan.Indegree[i])
 	}
 }
 
@@ -129,7 +171,7 @@ func (c *core) worker(w int32) {
 				if c.closed.Load() {
 					return true
 				}
-				gen = c.generation.Load()
+				gen = c.generation.v.Load()
 				return gen != lastGen
 			})
 			if c.closed.Load() {
@@ -137,14 +179,14 @@ func (c *core) worker(w int32) {
 			}
 			lastGen = gen
 			c.pol.runCycle(c, w, gen)
-			c.finished.Add(1)
+			c.finished.v.Add(1)
 		}
 	case waitBlock:
 		for range c.start[w] {
 			if c.closed.Load() {
 				return
 			}
-			c.pol.runCycle(c, w, c.generation.Load())
+			c.pol.runCycle(c, w, c.generation.v.Load())
 			c.doneCh <- struct{}{}
 		}
 	}
@@ -168,13 +210,13 @@ func (c *core) Execute() {
 	c.pol.beginCycle(c)
 	switch c.mode {
 	case waitSpin:
-		c.finished.Store(0)
-		gen := c.generation.Add(1) // releases the spinning workers
+		c.finished.v.Store(0)
+		gen := c.generation.v.Add(1) // releases the spinning workers
 		c.pol.runCycle(c, 0, gen)
 		want := int32(c.threads - 1)
-		spinWait(func() bool { return c.finished.Load() == want })
+		spinWait(func() bool { return c.finished.v.Load() == want })
 	case waitBlock:
-		gen := c.generation.Add(1)
+		gen := c.generation.v.Add(1)
 		for w := 1; w < c.threads; w++ {
 			c.start[w] <- struct{}{}
 		}

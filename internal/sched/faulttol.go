@@ -115,14 +115,21 @@ type faultState struct {
 }
 
 // newFaultState sizes the fault-tolerance state for a plan and worker
-// count.
+// count. Fault state is always indexed by BASE node IDs: on a fused plan
+// (graph.Fuse) each member of a fused unit is guarded, counted and
+// quarantined individually, so the arrays are sized by BaseLen.
 func newFaultState(p *graph.Plan, workers int) *faultState {
+	base := p
+	if p.Base != nil {
+		base = p.Base
+	}
+	n := p.BaseLen()
 	return &faultState{
-		fplan:   p,
+		fplan:   base,
 		policy:  FaultPolicy{}.withDefaults(),
-		state:   make([]atomic.Uint32, p.Len()),
-		consec:  make([]atomic.Int32, p.Len()),
-		probeAt: make([]atomic.Uint64, p.Len()),
+		state:   make([]atomic.Uint32, n),
+		consec:  make([]atomic.Int32, n),
+		probeAt: make([]atomic.Uint64, n),
 		running: make([]atomic.Int32, workers),
 	}
 }
@@ -178,11 +185,30 @@ func (f *faultState) Inflight(w int32) int32 {
 	return f.running[w].Load()
 }
 
-// exec runs node id on worker w for cycle gen with full fault handling.
-// It always returns normally — on a node panic the fault is recorded and
-// contained — so callers retire the node and release its successors
-// exactly as on success.
+// exec runs node id of plan p on worker w for cycle gen with full fault
+// handling. It always returns normally — on a node panic the fault is
+// recorded and contained — so callers retire the node and release its
+// successors exactly as on success.
+//
+// On a fused plan, id names a fused unit: its members run back-to-back
+// under their BASE plan and base IDs, so per-member observation, shed
+// bits, quarantine and inflight reporting are identical to the unfused
+// plan. A panicking member is contained without aborting the rest of the
+// unit — later members see the same flushed-output state they would see
+// in an unfused run.
 func (f *faultState) exec(p *graph.Plan, o Observer, id, w int32, gen uint64) {
+	if p.Members != nil {
+		base := p.Base
+		for _, m := range p.Members[id] {
+			f.execNode(base, o, m, w, gen)
+		}
+		return
+	}
+	f.execNode(p, o, id, w, gen)
+}
+
+// execNode is exec for a single unfused node.
+func (f *faultState) execNode(p *graph.Plan, o Observer, id, w int32, gen uint64) {
 	st := f.state[id].Load()
 	if st == 0 {
 		f.running[w].Store(id + 1)

@@ -206,7 +206,7 @@ func (p *Pool) anyClaimable() bool {
 			continue
 		}
 		gen := sess.gen.Load()
-		for _, id := range sess.plan.Order {
+		for _, id := range sess.plan.RankOrder {
 			if sess.claimed[id].Load() < gen && sess.pending[id].Load() == 0 {
 				return true
 			}
@@ -335,8 +335,10 @@ func (s *PoolSession) help(w int32) bool {
 // new cycle) can only ever claim nodes stamped strictly older than it —
 // and a completed cycle leaves every stamp at its generation, so stale
 // claims are impossible once the cycle that published them finished.
+// The scan walks RankOrder, so among ready nodes the claimant prefers
+// the one heading the most expensive remaining chain.
 func (s *PoolSession) claim(gen uint64) (int32, bool) {
-	for _, id := range s.plan.Order {
+	for _, id := range s.plan.RankOrder {
 		old := s.claimed[id].Load()
 		if old >= gen {
 			continue // already claimed this cycle (or claimant is stale)
@@ -358,7 +360,7 @@ func (s *PoolSession) claim(gen uint64) (int32, bool) {
 func (s *PoolSession) runClaimed(id, w int32, gen uint64) {
 	s.exec(s.plan, s.obs, id, w, gen)
 	readied := false
-	for _, succ := range s.plan.Succs[id] {
+	for _, succ := range s.plan.SuccsOf(id) {
 		if s.pending[succ].Add(-1) == 0 {
 			readied = true
 		}

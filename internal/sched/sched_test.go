@@ -263,7 +263,7 @@ func TestTracerRecordsFullSchedule(t *testing.T) {
 				t.Fatalf("%s: node %d end before start", name, i)
 			}
 			// Trace must respect dependencies: preds end before node ends.
-			for _, d := range p.Preds[i] {
+			for _, d := range p.PredsOf(int32(i)) {
 				if events[d].Start > e.End {
 					t.Fatalf("%s: node %s started after successor %s finished",
 						name, p.Names[d], p.Names[i])

@@ -75,16 +75,16 @@ func (pol *sleepPolicy) runCycle(c *core, w int32, gen uint64) {
 		// our recheck observes pending == 0 and we never sleep. Spurious
 		// tokens from earlier self-resolved registrations are absorbed by
 		// looping.
-		for c.pending[id].Load() > 0 {
+		for c.pending[id].v.Load() > 0 {
 			pol.executor[id].Store(w + 1)
-			if c.pending[id].Load() > 0 {
+			if c.pending[id].v.Load() > 0 {
 				<-pol.wake[w]
 			}
 		}
 		c.exec(c.plan, obs, id, w, gen)
 		// Notify successors; wake the executor of any that became ready.
-		for _, succ := range c.plan.Succs[id] {
-			if c.pending[succ].Add(-1) == 0 {
+		for _, succ := range c.plan.SuccsOf(id) {
+			if c.pending[succ].v.Add(-1) == 0 {
 				if e := pol.executor[succ].Load(); e != 0 {
 					select {
 					case pol.wake[e-1] <- struct{}{}:

@@ -66,7 +66,7 @@ func (pol *sleepScanPolicy) runCycle(c *core, w int32, gen uint64) {
 			if first == -1 {
 				first = i
 			}
-			if c.pending[id].Load() == 0 {
+			if c.pending[id].v.Load() == 0 {
 				pol.execute(c, id, w, gen)
 				ran[i] = true
 				remaining--
@@ -82,9 +82,9 @@ func (pol *sleepScanPolicy) runCycle(c *core, w int32, gen uint64) {
 		// Nothing runnable: sleep on the earliest blocked node, exactly
 		// like plain Sleep (register-then-recheck closes the race).
 		anchor := list[first]
-		for c.pending[anchor].Load() > 0 {
+		for c.pending[anchor].v.Load() > 0 {
 			pol.executor[anchor].Store(w + 1)
-			if c.pending[anchor].Load() > 0 {
+			if c.pending[anchor].v.Load() > 0 {
 				<-pol.wake[w]
 			}
 		}
@@ -94,8 +94,8 @@ func (pol *sleepScanPolicy) runCycle(c *core, w int32, gen uint64) {
 // execute runs a node and resolves successors, waking sleepers.
 func (pol *sleepScanPolicy) execute(c *core, id, w int32, gen uint64) {
 	c.exec(c.plan, c.obs, id, w, gen)
-	for _, succ := range c.plan.Succs[id] {
-		if c.pending[succ].Add(-1) == 0 {
+	for _, succ := range c.plan.SuccsOf(id) {
+		if c.pending[succ].v.Add(-1) == 0 {
 			if e := pol.executor[succ].Load(); e != 0 {
 				select {
 				case pol.wake[e-1] <- struct{}{}:

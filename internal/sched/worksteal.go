@@ -2,6 +2,7 @@ package sched
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -67,6 +68,12 @@ func NewWorkSteal(p *graph.Plan, o Options) (*WorkSteal, error) {
 // locality (default), all sources of one mixer section land on the same
 // worker ("this supports data locality as nodes from the same section
 // work on the same audio data"); otherwise plain round-robin.
+//
+// Each worker's seed list is then sorted by ascending upward rank. The
+// lists are pushed bottom-first at cycle start, so the owner's first
+// PopBottom (LIFO) takes its highest-rank source — critical-path-first —
+// while thieves stealing from the top take the lowest-rank source, the
+// one the owner would get to last.
 func initialSources(p *graph.Plan, threads int, roundRobin bool) [][]int32 {
 	out := make([][]int32, threads)
 	if roundRobin {
@@ -74,21 +81,27 @@ func initialSources(p *graph.Plan, threads int, roundRobin bool) [][]int32 {
 			w := i % threads
 			out[w] = append(out[w], id)
 		}
-		return out
-	}
-	// Deterministic section order: decks A..D, master, control.
-	sections := []graph.Section{
-		graph.SectionDeckA, graph.SectionDeckB, graph.SectionDeckC,
-		graph.SectionDeckD, graph.SectionMaster, graph.SectionControl,
-	}
-	w := 0
-	for _, sec := range sections {
-		srcs := p.SourcesBySection[sec]
-		if len(srcs) == 0 {
-			continue
+	} else {
+		// Deterministic section order: decks A..D, master, control.
+		sections := []graph.Section{
+			graph.SectionDeckA, graph.SectionDeckB, graph.SectionDeckC,
+			graph.SectionDeckD, graph.SectionMaster, graph.SectionControl,
 		}
-		out[w%threads] = append(out[w%threads], srcs...)
-		w++
+		w := 0
+		for _, sec := range sections {
+			srcs := p.SourcesBySection[sec]
+			if len(srcs) == 0 {
+				continue
+			}
+			out[w%threads] = append(out[w%threads], srcs...)
+			w++
+		}
+	}
+	for _, list := range out {
+		list := list
+		sort.SliceStable(list, func(a, b int) bool {
+			return p.Rank[list[a]] < p.Rank[list[b]]
+		})
 	}
 	return out
 }
@@ -165,8 +178,8 @@ func (pol *wsPolicy) runCycle(c *core, w int32, gen uint64) {
 func (pol *wsPolicy) execute(c *core, id, w int32, gen uint64) {
 	c.exec(c.plan, c.obs, id, w, gen)
 	pushed := false
-	for _, succ := range c.plan.Succs[id] {
-		if c.pending[succ].Add(-1) == 0 {
+	for _, succ := range c.plan.SuccsOf(id) {
+		if c.pending[succ].v.Add(-1) == 0 {
 			// Newly ready: keep it local (LIFO, cache-warm).
 			pol.deques[w].PushBottom(succ)
 			pushed = true

@@ -50,12 +50,7 @@ type GraphInfo struct {
 // Plan reconstructs a minimal executable-shaped plan (Run stubs only)
 // sufficient for obs.CriticalPath.
 func (g GraphInfo) Plan() *graph.Plan {
-	return &graph.Plan{
-		Names: g.Names,
-		Order: g.Order,
-		Preds: g.Preds,
-		Run:   make([]func(), len(g.Names)),
-	}
+	return graph.PlanFromLists(g.Names, g.Order, g.Preds)
 }
 
 // IncidentSchemaVersion identifies the bundle wire shape.

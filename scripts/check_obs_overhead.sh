@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
-# check_obs_overhead.sh — CI gate for the always-on instrumentation cost.
+# check_obs_overhead.sh — CI gate for the always-on instrumentation cost
+# and the chain-fusion hot path.
 #
 # Runs BenchmarkObsOverhead, which A/Bs the full default APC cycle
 # (observability collector + telemetry collector both live) against the
-# same cycle with each layer individually disabled, and computes two
-# on/off ns-per-op ratios:
+# same cycle with each layer individually disabled, plus
+# BenchmarkFusedCycle, which A/Bs the cycle with chain fusion on against
+# the default off, and computes three ns-per-op ratios:
 #
 #   obs ratio — default / obs-collector-disabled
 #   tel ratio — default / telemetry-collector-disabled
+#   fus ratio — fusion-on / fusion-off (< 1 means fusion helps)
 #
 # Each ratio fails when it regresses more than 5 percentage points over
 # its checked-in baseline (scripts/obs_overhead_baseline.txt).
@@ -24,15 +27,17 @@ trap 'rm -f "$out"' EXIT
 
 # -count 5: the gate uses the per-variant minimum, which strips scheduler
 # and frequency noise better than a mean on shared CI runners.
-go test -run '^$' -bench 'BenchmarkObsOverhead' -benchtime 500x -count 5 . | tee "$out"
+go test -run '^$' -bench 'BenchmarkObsOverhead|BenchmarkFusedCycle' -benchtime 500x -count 5 . | tee "$out"
 
 ratios=$(awk '
-	/BenchmarkObsOverhead\/obs=on/  { if (!on    || $3 < on)    on    = $3 }
-	/BenchmarkObsOverhead\/obs=off/ { if (!noobs || $3 < noobs) noobs = $3 }
-	/BenchmarkObsOverhead\/tel=off/ { if (!notel || $3 < notel) notel = $3 }
+	/BenchmarkObsOverhead\/obs=on/     { if (!on     || $3 < on)     on     = $3 }
+	/BenchmarkObsOverhead\/obs=off/    { if (!noobs  || $3 < noobs)  noobs  = $3 }
+	/BenchmarkObsOverhead\/tel=off/    { if (!notel  || $3 < notel)  notel  = $3 }
+	/BenchmarkFusedCycle\/fusion=off/  { if (!fusoff || $3 < fusoff) fusoff = $3 }
+	/BenchmarkFusedCycle\/fusion=on/   { if (!fuson  || $3 < fuson)  fuson  = $3 }
 	END {
-		if (!on || !noobs || !notel) { print "parse-error"; exit }
-		printf "obs %.4f\ntel %.4f\n", on / noobs, on / notel
+		if (!on || !noobs || !notel || !fusoff || !fuson) { print "parse-error"; exit }
+		printf "obs %.4f\ntel %.4f\nfus %.4f\n", on / noobs, on / notel, fuson / fusoff
 	}' "$out")
 
 if [ "$ratios" = "parse-error" ]; then
