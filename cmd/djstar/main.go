@@ -9,14 +9,19 @@
 //
 //	djstar -duration 10s -strategy busy -threads 4
 //	djstar -chaos "panic:FXA2@100x3, stall:Mixer@500:200ms"
+//	djstar -script patches.txt            # timed live graph edits
+//	djstar -repl                          # patch specs from stdin
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -54,6 +59,8 @@ func main() {
 		metrics  = flag.String("metrics", "", `serve just the telemetry endpoint on this address (e.g. ":9090"): /metrics (OpenMetrics), /api/slo`)
 		incDir   = flag.String("incident-dir", "", "write flight-recorder incident bundles to this directory (replay with djanalyze -incident)")
 		fuse     = flag.Bool("fuse", false, "compile the execution plan with cost-guided chain fusion (DESIGN.md §13)")
+		script   = flag.String("script", "", `timed live graph edits: a file of "@<cycle> <patch>" lines, e.g. "@500 insert-delay:A:2" (see DESIGN.md §14)`)
+		repl     = flag.Bool("repl", false, "read live patch specs from stdin, one per line (insert-delay:A:2, remove-delay:A, drop-node:<name>)")
 	)
 	flag.Parse()
 
@@ -232,6 +239,38 @@ func main() {
 		interrupted.Store(true)
 	}()
 
+	// Live graph edits: -script schedules patches at cycle numbers; -repl
+	// stages whatever patch specs arrive on stdin. Both go through
+	// Engine.ApplyPatch, which is safe from any thread — the edit lands
+	// at the next cycle boundary.
+	var patches []timedPatch
+	if *script != "" {
+		var err error
+		patches, err = loadPatchScript(*script)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "djstar: -script: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("loaded %d timed patches from %s\n", len(patches), *script)
+	}
+	if *repl {
+		go func() {
+			sc := bufio.NewScanner(os.Stdin)
+			for sc.Scan() {
+				spec := strings.TrimSpace(sc.Text())
+				if spec == "" || strings.HasPrefix(spec, "#") {
+					continue
+				}
+				if err := e.ApplyPatch(spec); err != nil {
+					fmt.Fprintf(os.Stderr, "PATCH rejected %q: %v\n", spec, err)
+				} else {
+					fmt.Fprintf(os.Stderr, "PATCH staged: %s (lands next cycle)\n", spec)
+				}
+			}
+		}()
+		fmt.Println("repl: type patch specs on stdin (insert-delay:A:2, remove-delay:A, drop-node:<name>)")
+	}
+
 	totalCycles := int(duration.Seconds() / audio.StandardPacketPeriod.Seconds())
 	statusEvery := int(0.5 / audio.StandardPacketPeriod.Seconds()) // twice a second
 
@@ -279,6 +318,15 @@ func main() {
 	for i := 0; i < totalCycles && !interrupted.Load(); i++ {
 		done = i + 1
 		due := start.Add(time.Duration(i+1) * period)
+		for len(patches) > 0 && patches[0].cycle <= i {
+			p := patches[0]
+			patches = patches[1:]
+			if err := e.ApplyPatch(p.spec); err != nil {
+				fmt.Fprintf(os.Stderr, "PATCH @%d rejected %q: %v\n", p.cycle, p.spec, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "PATCH @%d staged: %s\n", p.cycle, p.spec)
+			}
+		}
 		e.Cycle(m)
 		if rec != nil {
 			if err := rec.WritePacket(e.Session().RecordOut()); err != nil {
@@ -347,6 +395,40 @@ func writeTrace(path string, e *engine.Engine) error {
 	return nil
 }
 
+// timedPatch is one scheduled live graph edit from a -script file.
+type timedPatch struct {
+	cycle int
+	spec  string
+}
+
+// loadPatchScript parses a -script file: one "@<cycle> <patch-spec>" per
+// line ("@" optional), '#' comments and blank lines ignored. Patches are
+// returned sorted by cycle.
+func loadPatchScript(path string) ([]timedPatch, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []timedPatch
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"@<cycle> <patch>\", got %q", path, ln+1, line)
+		}
+		cyc, err := strconv.Atoi(strings.TrimPrefix(fields[0], "@"))
+		if err != nil || cyc < 0 {
+			return nil, fmt.Errorf("%s:%d: bad cycle %q", path, ln+1, fields[0])
+		}
+		out = append(out, timedPatch{cycle: cyc, spec: fields[1]})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].cycle < out[j].cycle })
+	return out, nil
+}
+
 // freshMetrics builds an empty metrics container matching the engine.
 func freshMetrics(e *engine.Engine) *engine.Metrics {
 	// RunCycles(0) conveniently builds an initialized Metrics.
@@ -366,8 +448,11 @@ func printStatus(e *engine.Engine, m *engine.Metrics, cycle, late int) {
 			'A'+d, lock, dk.Position()/float64(audio.SampleRate), dk.Tempo()))
 	}
 	health := ""
+	if ep := e.PlanEpoch(); ep > 0 {
+		health = fmt.Sprintf(" | epoch %d (%d nodes)", ep, e.Plan().Len())
+	}
 	if h := e.Health(); h.Faults.Recovered > 0 || h.Stalls > 0 {
-		health = fmt.Sprintf(" | faults %d", h.Faults.Recovered)
+		health += fmt.Sprintf(" | faults %d", h.Faults.Recovered)
 		if len(h.Quarantined) > 0 {
 			health += " q:" + strings.Join(h.Quarantined, ",")
 		}

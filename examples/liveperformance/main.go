@@ -96,6 +96,17 @@ func main() {
 	next := 0
 	var peakHold float64
 
+	// Mid-set live re-patch: at ~22 s a two-unit feedback-delay chain is
+	// spliced into deck B's playing signal path (a whole-topology edit,
+	// not a parameter change), then excised 200 cycles later. The audio
+	// must stay continuous through both plan swaps — no silent packets in
+	// the window around them.
+	insertAt := int(22.0 / audio.StandardPacketPeriod.Seconds())
+	const removeAfter = 200
+	removeAt := insertAt + removeAfter
+	baseNodes := e.Plan().Len()
+	zeroInWindow := 0
+
 	for i := 0; i < total; i++ {
 		now := float64(i) * audio.StandardPacketPeriod.Seconds()
 		for next < len(script) && now >= script[next].atSecond {
@@ -103,13 +114,43 @@ func main() {
 			script[next].apply(s)
 			next++
 		}
+		switch i {
+		case insertAt:
+			fmt.Printf("%6.1fs  LIVE RE-PATCH: insert 2-unit delay chain on deck B\n", now)
+			if err := e.ApplyPatch("insert-delay:B:2"); err != nil {
+				log.Fatalf("insert-delay: %v", err)
+			}
+		case removeAt:
+			fmt.Printf("%6.1fs  LIVE RE-PATCH: remove the delay chain (200 cycles later)\n", now)
+			if err := e.ApplyPatch("remove-delay:B"); err != nil {
+				log.Fatalf("remove-delay: %v", err)
+			}
+		}
 		e.Cycle(m)
-		if p := s.MasterOut().Peak(); p > peakHold {
+		p := s.MasterOut().Peak()
+		if p > peakHold {
 			peakHold = p
+		}
+		if p == 0 && i >= insertAt-10 && i <= removeAt+100 {
+			zeroInWindow++
 		}
 	}
 
+	// The set must have adopted both edits and returned to the original
+	// node count, without a single silent packet at either swap boundary.
+	if got := e.PlanEpoch(); got != 2 {
+		log.Fatalf("plan epoch = %d after the set, want 2 (insert + remove adopted)", got)
+	}
+	if got := e.Plan().Len(); got != baseNodes {
+		log.Fatalf("node count = %d after excision, want %d", got, baseNodes)
+	}
+	if zeroInWindow > 0 {
+		log.Fatalf("audio discontinuity: %d silent master packets around the re-patch window", zeroInWindow)
+	}
+
 	fmt.Printf("\nset complete: %d cycles (%.0f s of audio)\n", m.Cycles, seconds)
+	fmt.Printf("re-patch: 2 topology edits adopted live (epoch %d), audio continuous through both swaps\n",
+		e.PlanEpoch())
 	fmt.Printf("graph: mean %.4f ms, worst %.4f ms\n", m.Graph.Mean(), m.Graph.Max())
 	fmt.Printf("APC deadline misses: %d / %d (deadline %.3f ms)\n",
 		m.Deadline.Missed(), m.Deadline.Total(), engine.DeadlineMS)

@@ -92,6 +92,20 @@ func New(cfg Config) (*App, error) {
 			userHooks.OnGovChange(from, to)
 		}
 	}
+	ecfg.Hooks.OnTopology = func(tc engine.TopologyChange) {
+		// Fires on the cycle thread when a live graph edit is adopted or
+		// rolled back.
+		bus.Publish(middleware.TopicTopology, middleware.TopologyEvent{
+			Cycle:   tc.Cycle,
+			Epoch:   tc.Epoch,
+			Nodes:   tc.Nodes,
+			Desc:    tc.Desc,
+			Applied: tc.Applied,
+		})
+		if userHooks.OnTopology != nil {
+			userHooks.OnTopology(tc)
+		}
+	}
 	ecfg.Hooks.OnTrace = func(t *obs.CycleTrace) {
 		// Fires on the cycle thread every sampled cycle. The engine's
 		// trace buffers are reused, so copy into a fresh ScheduleTrace —
@@ -107,7 +121,7 @@ func New(cfg Config) (*App, error) {
 		}
 		names := a.Engine.Plan().Names
 		for id, w := range t.Worker {
-			if w < 0 {
+			if w < 0 || id >= len(names) {
 				continue
 			}
 			st.Nodes = append(st.Nodes, middleware.TraceNode{
@@ -227,8 +241,18 @@ func (a *App) Cycle(m *engine.Metrics) {
 		if tel := a.Engine.Telemetry(); tel != nil {
 			tel.SetBusDrops(total)
 		}
+		lastEdit := ""
+		if le := snap.LastEdit; le != nil {
+			if le.Applied {
+				lastEdit = "ok " + le.Desc
+			} else {
+				lastEdit = "failed " + le.Desc + ": " + le.Err
+			}
+		}
 		rep := middleware.HealthReport{
 			Cycle:           a.cycle,
+			PlanEpoch:       snap.PlanEpoch,
+			LastEdit:        lastEdit,
 			Level:           h.Level.String(),
 			LoadFactor:      h.LoadFactor,
 			WindowMissRate:  h.WindowMissRate,

@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"fmt"
+
+	"djstar/internal/graph"
+	"djstar/internal/obs"
+	"djstar/internal/rescon"
+	"djstar/internal/sched"
+)
+
+// Live graph editing. An EditSet is applied against the current
+// topology's graph, compiled into a fresh plan, and staged; the next
+// cycle boundary adopts it without stopping the audio: the scheduler
+// keeps its workers, fault/quarantine/shed state is remapped onto the
+// surviving nodes, node state carries over through the Migrate hooks,
+// and the observability collector is replaced by one sized for the new
+// plan. A failed adoption rolls back to the old topology and is
+// retained as a flight-recorder event. The engine's public node-ID
+// space advances with each adopted edit (PlanEpoch counts them);
+// cross-thread readers always see a consistent (plan, collector) pair
+// through the topology bundle.
+
+// EditOutcome records the result of the most recent topology edit:
+// staged-then-adopted, rejected at validation, or rolled back at the
+// swap boundary. Exposed through Snapshot (schema v2) and LastEdit.
+type EditOutcome struct {
+	// Cycle is the engine cycle at which the outcome was decided
+	// (staging cycle for rejections, adoption cycle otherwise).
+	Cycle uint64 `json:"cycle"`
+	// Epoch is the plan epoch after the outcome.
+	Epoch uint64 `json:"epoch"`
+	// Ops counts the edit operations in the set.
+	Ops int `json:"ops"`
+	// Applied is true when the edit was adopted into the live topology.
+	Applied bool `json:"applied"`
+	// Err is the rejection or rollback error ("" on success).
+	Err string `json:"err,omitempty"`
+	// Desc describes the edit (a patch spec, or "<n> ops").
+	Desc string `json:"desc,omitempty"`
+}
+
+// LastEdit returns the most recent edit outcome (nil when no edit has
+// been attempted). Safe from any thread.
+func (e *Engine) LastEdit() *EditOutcome { return e.lastEdit.Load() }
+
+// stagedTopo is a compiled topology parked until the next cycle
+// boundary adopts it. remap composes every edit staged since the live
+// topology (nil for a pure execution-plan recompilation, which keeps
+// the base ID space).
+type stagedTopo struct {
+	topo  *topology
+	remap *graph.Remap
+	ops   int
+	desc  string
+}
+
+// ApplyEdits validates and compiles an edit set against the current
+// topology (including any not-yet-adopted staged edit — stacked edits
+// compose) and stages the result for adoption at the next cycle
+// boundary. The error reports validation/compilation failures
+// (graph.ErrBadEdit, graph.ErrCycle); the audio is untouched on error.
+// Safe from any thread; the edit itself takes effect on the cycle
+// thread, observable via PlanEpoch, LastEdit and Hooks.OnTopology.
+func (e *Engine) ApplyEdits(es *graph.EditSet) error {
+	e.editMu.Lock()
+	defer e.editMu.Unlock()
+	return e.applyEditsLocked(es, fmt.Sprintf("%d ops", es.Len()))
+}
+
+// ApplyPatch builds an edit set from a live-patch spec (see
+// graph.Session.BuildPatch: "insert-delay:A:2", "remove-delay:A",
+// "drop-node:MeterA") and stages it like ApplyEdits.
+func (e *Engine) ApplyPatch(spec string) error {
+	e.editMu.Lock()
+	defer e.editMu.Unlock()
+	base, _ := e.editBase()
+	es, err := e.session.BuildPatch(base.g, spec)
+	if err != nil {
+		e.recordEdit(EditOutcome{
+			Cycle: e.cycleN.Load(), Epoch: e.planEpoch.Load(),
+			Err: err.Error(), Desc: spec,
+		})
+		return err
+	}
+	return e.applyEditsLocked(es, spec)
+}
+
+// editBase returns the topology new edits apply against — the staged
+// one when present (stacked edits), else the live one — plus the
+// staged wrapper itself (nil when none). editMu must be held.
+func (e *Engine) editBase() (*topology, *stagedTopo) {
+	if st := e.staged.Load(); st != nil {
+		return st.topo, st
+	}
+	return e.topo.Load(), nil
+}
+
+// applyEditsLocked compiles and stages one edit set. editMu held.
+func (e *Engine) applyEditsLocked(es *graph.EditSet, desc string) error {
+	if e.closed.Load() {
+		return fmt.Errorf("engine: ApplyEdits after Close")
+	}
+	base, prev := e.editBase()
+	fail := func(err error) error {
+		e.recordEdit(EditOutcome{
+			Cycle: e.cycleN.Load(), Epoch: e.planEpoch.Load(),
+			Ops: es.Len(), Err: err.Error(), Desc: desc,
+		})
+		if e.flight != nil {
+			e.flight.AddEvent(e.cycleN.Load(), "edit-rejected", desc+": "+err.Error())
+		}
+		return err
+	}
+	g2, plan2, remap, err := base.g.Apply(es)
+	if err != nil {
+		return fail(err)
+	}
+	if prev != nil && prev.remap != nil {
+		remap = prev.remap.Compose(remap)
+	}
+	execPlan := plan2
+	if e.cfg.FusePlan {
+		execPlan, err = graph.Fuse(plan2, e.editCosts(remap, plan2), e.cfg.Fuse)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	var col *obs.Collector
+	if !e.cfg.Obs.Disable {
+		col = obs.NewCollector(plan2, obs.Config{
+			Workers:    e.obsWorkers,
+			TraceEvery: e.cfg.Obs.TraceEvery,
+			TraceRing:  e.cfg.Obs.TraceRing,
+		})
+	}
+	ops, d := es.Len(), desc
+	if prev != nil {
+		ops += prev.ops
+		d = prev.desc + "; " + desc
+	}
+	e.staged.Store(&stagedTopo{
+		topo:  &topology{g: g2, plan: plan2, execPlan: execPlan, col: col},
+		remap: remap,
+		ops:   ops,
+		desc:  d,
+	})
+	return nil
+}
+
+// RecompileFused compiles a new fused execution plan over the current
+// base plan and stages it for adoption at the next cycle boundary — the
+// audio never stops: the current cycle finishes on the old plan, the
+// next starts on the new one, on the same scheduler workers. costsUS
+// supplies per-node cost estimates in µs (base-plan IDs); nil means
+// "best available" — the collector's measured means when at least one
+// cycle has been observed, else the static design table.
+//
+// The engine's public node-ID space is unchanged: the collector,
+// governor, watchdog, telemetry and Health still see base nodes. Safe
+// to call from any thread, including for engines attached to a worker
+// pool. A staged structural edit is preserved: the recompilation fuses
+// the staged plan and both land together.
+func (e *Engine) RecompileFused(costsUS []float64) error {
+	e.editMu.Lock()
+	defer e.editMu.Unlock()
+	if e.closed.Load() {
+		return fmt.Errorf("engine: RecompileFused after Close")
+	}
+	base, prev := e.editBase()
+	var remap *graph.Remap
+	ops, desc := 0, "refuse"
+	if prev != nil {
+		remap, ops, desc = prev.remap, prev.ops, prev.desc+"; refuse"
+	}
+	if costsUS == nil {
+		costsUS = e.editCosts(remap, base.plan)
+	}
+	fused, err := graph.Fuse(base.plan, costsUS, e.cfg.Fuse)
+	if err != nil {
+		return err
+	}
+	e.staged.Store(&stagedTopo{
+		topo:  &topology{g: base.g, plan: base.plan, execPlan: fused, col: base.col},
+		remap: remap,
+		ops:   ops,
+		desc:  desc,
+	})
+	return nil
+}
+
+// editCosts produces a per-node µs cost table for plan (the target plan
+// of a staged edit). Measured means from the live collector are carried
+// through remap when one exists; nodes without a measurement (including
+// freshly added ones) fall back to the static design table.
+func (e *Engine) editCosts(remap *graph.Remap, plan *graph.Plan) []float64 {
+	out := rescon.PaperCostsUS(plan)
+	live := e.topo.Load()
+	if live.col == nil {
+		return out
+	}
+	m, ok := live.col.CostModel()
+	if !ok {
+		return out
+	}
+	if remap == nil {
+		// Same ID space: take any measured (non-zero) mean directly.
+		for i := range out {
+			if i < len(m) && m[i] > 0 {
+				out[i] = m[i]
+			}
+		}
+		return out
+	}
+	for i := range out {
+		if i < len(remap.NewToOld) {
+			if old := remap.NewToOld[i]; old >= 0 && int(old) < len(m) && m[old] > 0 {
+				out[i] = m[old]
+			}
+		}
+	}
+	return out
+}
+
+// adoptStaged installs the staged topology at the cycle boundary: the
+// scheduler swaps plans in place (workers, fault counters, quarantine
+// and shed state survive through the remap), node state migrates via
+// the Migrate hooks, the governor and watchdog are retargeted, and the
+// epoch advances. On a refused swap the old topology stays live and the
+// rollback is retained as a flight-recorder event. Cycle thread only.
+func (e *Engine) adoptStaged() {
+	st := e.staged.Swap(nil)
+	if st == nil {
+		return
+	}
+	old := e.topo.Load()
+	sw := sched.Swap{Plan: st.topo.execPlan}
+	if st.remap != nil {
+		sw.OldToNew = st.remap.OldToNew
+	}
+	if st.topo.col != old.col {
+		sw.Observer = st.topo.col
+	}
+	cyc := e.cycleN.Load()
+	if err := e.sched.StageSwap(sw); err != nil {
+		e.recordEdit(EditOutcome{
+			Cycle: cyc, Epoch: e.planEpoch.Load(),
+			Ops: st.ops, Err: err.Error(), Desc: st.desc,
+		})
+		if e.flight != nil {
+			e.flight.AddEvent(cyc, "edit-rollback", st.desc+": "+err.Error())
+		}
+		e.notifyTopology(TopologyChange{
+			Cycle: cyc, Epoch: e.planEpoch.Load(),
+			Nodes: old.plan.Len(), Ops: st.ops, Desc: st.desc,
+		})
+		return
+	}
+	e.sched.AdoptStaged()
+	if st.remap != nil {
+		migrateStates(old.plan, st.topo.plan, st.remap)
+	}
+	e.topo.Store(st.topo)
+	epoch := e.planEpoch.Add(1)
+	if e.gov != nil {
+		e.gov.retarget(e.sched, st.topo.plan)
+	}
+	if e.wd != nil {
+		e.wd.retarget(e.sched, st.topo.plan)
+	}
+	e.recordEdit(EditOutcome{
+		Cycle: cyc, Epoch: epoch, Ops: st.ops, Applied: true, Desc: st.desc,
+	})
+	if e.flight != nil {
+		e.flight.AddEvent(cyc, "plan-swap", fmt.Sprintf("%s (epoch %d)", st.desc, epoch))
+	}
+	e.notifyTopology(TopologyChange{
+		Cycle: cyc, Epoch: epoch, Nodes: st.topo.plan.Len(),
+		Ops: st.ops, Desc: st.desc, Applied: true,
+	})
+}
+
+// migrateStates runs the new plan's Migrate hooks with the state of the
+// node each one descends from in the old plan (nil for fresh nodes).
+// Runs on the cycle thread after scheduler adoption, before the new
+// plan's first cycle.
+func migrateStates(oldPlan, newPlan *graph.Plan, r *graph.Remap) {
+	for i, fn := range newPlan.Migrate {
+		if fn == nil {
+			continue
+		}
+		var prev any
+		if src := r.StateSrc[i]; src >= 0 && int(src) < len(oldPlan.States) {
+			prev = oldPlan.States[src]
+		}
+		fn(prev)
+	}
+}
+
+// recordEdit publishes one edit outcome for LastEdit / Snapshot readers.
+func (e *Engine) recordEdit(o EditOutcome) { e.lastEdit.Store(&o) }
+
+// notifyTopology fires the OnTopology hook when installed.
+func (e *Engine) notifyTopology(tc TopologyChange) {
+	if e.cfg.Hooks.OnTopology != nil {
+		e.cfg.Hooks.OnTopology(tc)
+	}
+}

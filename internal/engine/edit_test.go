@@ -1,0 +1,321 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"djstar/internal/graph"
+	"djstar/internal/sched"
+)
+
+// editStrategies is every execution configuration ApplyEdits must work
+// on: the five parallel strategies, the sequential baseline, and a
+// pool-backed session.
+var editStrategies = []string{
+	sched.NameSequential, sched.NameBusyWait, sched.NameSleep,
+	sched.NameWorkSteal, sched.NameSleepScan, sched.NameStatic,
+	sched.NamePool,
+}
+
+// TestEngineApplyPatchAllStrategies inserts and removes a live delay
+// chain on every execution configuration, checking epoch advancement,
+// node-count round-trip and uninterrupted cycles on either side.
+func TestEngineApplyPatchAllStrategies(t *testing.T) {
+	for _, name := range editStrategies {
+		t.Run(name, func(t *testing.T) {
+			threads := 4
+			if name == sched.NameSequential {
+				threads = 1
+			}
+			e, err := New(fastConfig(name, threads))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			baseNodes := e.Plan().Len()
+			e.RunCycles(10)
+
+			if err := e.ApplyPatch("insert-delay:B:2"); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+			// Staged only: nothing adopted until the cycle boundary.
+			if e.PlanEpoch() != 0 || e.Plan().Len() != baseNodes {
+				t.Fatal("edit adopted outside a cycle boundary")
+			}
+			e.Cycle(nil)
+			if e.PlanEpoch() != 1 {
+				t.Fatalf("epoch = %d after insert, want 1", e.PlanEpoch())
+			}
+			if got := e.Plan().Len(); got != baseNodes+2 {
+				t.Fatalf("plan size = %d after insert, want %d", got, baseNodes+2)
+			}
+			if e.Graph().NodeByName("LiveDelayB1") < 0 || e.Graph().NodeByName("LiveDelayB2") < 0 {
+				t.Fatal("delay nodes missing from live graph")
+			}
+			m := e.RunCycles(20)
+			if m.Cycles != 20 {
+				t.Fatalf("post-insert cycles = %d", m.Cycles)
+			}
+
+			if err := e.ApplyPatch("remove-delay:B"); err != nil {
+				t.Fatalf("remove: %v", err)
+			}
+			e.Cycle(nil)
+			if e.PlanEpoch() != 2 || e.Plan().Len() != baseNodes {
+				t.Fatalf("after remove: epoch %d, %d nodes, want 2/%d",
+					e.PlanEpoch(), e.Plan().Len(), baseNodes)
+			}
+			le := e.LastEdit()
+			if le == nil || !le.Applied || le.Desc != "remove-delay:B" {
+				t.Fatalf("LastEdit = %+v", le)
+			}
+			e.RunCycles(10)
+		})
+	}
+}
+
+// TestEngineApplyEditsStacked: two edits staged before one cycle
+// boundary compose and land in a single adoption.
+func TestEngineApplyEditsStacked(t *testing.T) {
+	e, err := New(fastConfig(sched.NameBusyWait, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	base := e.Plan().Len()
+	e.RunCycles(5)
+	if err := e.ApplyPatch("insert-delay:A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyPatch("insert-delay:B"); err != nil {
+		t.Fatal(err)
+	}
+	e.Cycle(nil)
+	if e.PlanEpoch() != 1 {
+		t.Fatalf("stacked edits adopted as %d epochs, want 1", e.PlanEpoch())
+	}
+	if got := e.Plan().Len(); got != base+2 {
+		t.Fatalf("plan size = %d, want %d", got, base+2)
+	}
+	le := e.LastEdit()
+	if le == nil || !le.Applied || !strings.Contains(le.Desc, "insert-delay:A") ||
+		!strings.Contains(le.Desc, "insert-delay:B") {
+		t.Fatalf("LastEdit = %+v", le)
+	}
+	e.RunCycles(5)
+}
+
+// TestEngineApplyPatchRejected: a bad spec is refused synchronously,
+// recorded in LastEdit, and leaves the topology untouched.
+func TestEngineApplyPatchRejected(t *testing.T) {
+	e, err := New(fastConfig(sched.NameBusyWait, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for _, spec := range []string{"bogus", "insert-delay:Z", "remove-delay:A", "drop-node:Mixer"} {
+		if err := e.ApplyPatch(spec); err == nil {
+			t.Fatalf("patch %q accepted", spec)
+		}
+		le := e.LastEdit()
+		if le == nil || le.Applied || le.Err == "" {
+			t.Fatalf("LastEdit after %q = %+v", spec, le)
+		}
+	}
+	e.Cycle(nil)
+	if e.PlanEpoch() != 0 {
+		t.Fatal("rejected edits advanced the epoch")
+	}
+}
+
+// TestEngineEditRollback: an edit that passes graph validation but is
+// refused by the scheduler at the swap boundary (here: shrinking the
+// plan below the worker count) rolls back — the old topology stays
+// live, the epoch does not advance, and the outcome is recorded.
+func TestEngineEditRollback(t *testing.T) {
+	var changes []TopologyChange
+	cfg := fastConfig(sched.NameBusyWait, 4)
+	cfg.Hooks.OnTopology = func(tc TopologyChange) { changes = append(changes, tc) }
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.RunCycles(5)
+
+	// Remove every node but the first two: a valid 2-node graph, but a
+	// 4-worker scheduler cannot run it.
+	es := &graph.EditSet{}
+	for i := 2; i < e.Plan().Len(); i++ {
+		es.RemoveNode(graph.NodeRef(i))
+	}
+	if err := e.ApplyEdits(es); err != nil {
+		t.Fatalf("staging should succeed (graph-valid): %v", err)
+	}
+	before := e.Plan().Len()
+	e.Cycle(nil) // adoption refused here
+	if e.PlanEpoch() != 0 {
+		t.Fatalf("rollback advanced the epoch to %d", e.PlanEpoch())
+	}
+	if e.Plan().Len() != before {
+		t.Fatal("rollback changed the live plan")
+	}
+	le := e.LastEdit()
+	if le == nil || le.Applied || le.Err == "" {
+		t.Fatalf("LastEdit = %+v", le)
+	}
+	if len(changes) != 1 || changes[0].Applied {
+		t.Fatalf("OnTopology changes = %+v, want one rollback", changes)
+	}
+	// The engine keeps running on the old topology.
+	m := e.RunCycles(10)
+	if m.Cycles != 10 {
+		t.Fatalf("post-rollback cycles = %d", m.Cycles)
+	}
+}
+
+// TestEngineEditMigratesState: replacing a live delay node hands its
+// delay-line state to the replacement's Migrate hook.
+func TestEngineEditMigratesState(t *testing.T) {
+	e, err := New(fastConfig(sched.NameBusyWait, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.ApplyPatch("insert-delay:B"); err != nil {
+		t.Fatal(err)
+	}
+	e.RunCycles(30) // let the delay line fill
+
+	var migrated any
+	id := e.Graph().NodeByName("LiveDelayB1")
+	if id < 0 {
+		t.Fatal("LiveDelayB1 missing")
+	}
+	es := &graph.EditSet{}
+	es.ReplaceChain([]graph.NodeRef{graph.NodeRef(id)}, graph.NodeSpec{
+		Name:    "ReplacementDelay",
+		Migrate: func(prev any) { migrated = prev },
+	})
+	if err := e.ApplyEdits(es); err != nil {
+		t.Fatal(err)
+	}
+	e.Cycle(nil)
+	if e.PlanEpoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", e.PlanEpoch())
+	}
+	if migrated == nil {
+		t.Fatal("Migrate hook did not receive the predecessor's state")
+	}
+}
+
+// TestEngineTopologyHookOnAdoption: OnTopology fires once per adopted
+// edit with the post-adoption epoch and node count.
+func TestEngineTopologyHookOnAdoption(t *testing.T) {
+	var changes []TopologyChange
+	cfg := fastConfig(sched.NameWorkSteal, 4)
+	cfg.Hooks.OnTopology = func(tc TopologyChange) { changes = append(changes, tc) }
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	base := e.Plan().Len()
+	if err := e.ApplyPatch("insert-delay:A:3"); err != nil {
+		t.Fatal(err)
+	}
+	e.Cycle(nil)
+	e.Cycle(nil) // no second event without a new edit
+	if len(changes) != 1 {
+		t.Fatalf("%d topology events, want 1", len(changes))
+	}
+	tc := changes[0]
+	if !tc.Applied || tc.Epoch != 1 || tc.Nodes != base+3 || tc.Desc != "insert-delay:A:3" {
+		t.Fatalf("event = %+v", tc)
+	}
+}
+
+// TestEngineSnapshotReportsEdits: Snapshot v2 carries the epoch and the
+// last edit outcome.
+func TestEngineSnapshotReportsEdits(t *testing.T) {
+	e, err := New(fastConfig(sched.NameBusyWait, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.RunCycles(5)
+	if err := e.ApplyPatch("insert-delay:C"); err != nil {
+		t.Fatal(err)
+	}
+	e.Cycle(nil)
+	snap := e.Snapshot()
+	if snap.SchemaVersion != 2 {
+		t.Fatalf("schema = %d, want 2", snap.SchemaVersion)
+	}
+	if snap.PlanEpoch != 1 {
+		t.Fatalf("snapshot epoch = %d", snap.PlanEpoch)
+	}
+	if snap.LastEdit == nil || !snap.LastEdit.Applied || snap.LastEdit.Desc != "insert-delay:C" {
+		t.Fatalf("snapshot LastEdit = %+v", snap.LastEdit)
+	}
+}
+
+// TestEngineCloseWhileEditStaged: Close with a staged, never-adopted
+// edit must not adopt, leak or wedge — and stays idempotent; edits after
+// Close are refused.
+func TestEngineCloseWhileEditStaged(t *testing.T) {
+	e, err := New(fastConfig(sched.NameBusyWait, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunCycles(5)
+	if err := e.ApplyPatch("insert-delay:B"); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if err := e.ApplyPatch("insert-delay:A"); err == nil {
+		t.Fatal("ApplyPatch after Close accepted")
+	}
+	if err := e.RecompileFused(nil); err == nil {
+		t.Fatal("RecompileFused after Close accepted")
+	}
+}
+
+// TestEngineEditWithFusionAndGovernor: structural edits compose with
+// plan fusion and an enabled governor/watchdog — the fused exec plan is
+// rebuilt over the edited base plan at adoption.
+func TestEngineEditWithFusionAndGovernor(t *testing.T) {
+	cfg := fastConfig(sched.NameBusyWait, 4)
+	cfg.FusePlan = true
+	cfg.Governor.Enabled = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.RunCycles(20)
+	base := e.Plan().Len()
+	if err := e.ApplyPatch("insert-delay:B:2"); err != nil {
+		t.Fatal(err)
+	}
+	e.Cycle(nil)
+	if e.PlanEpoch() != 1 {
+		t.Fatalf("epoch = %d", e.PlanEpoch())
+	}
+	if e.Plan().Len() != base+2 {
+		t.Fatalf("base plan = %d nodes, want %d", e.Plan().Len(), base+2)
+	}
+	exec := e.ExecPlan()
+	if !exec.IsFused() || exec.Base != e.Plan() {
+		t.Fatal("exec plan is not a fusion of the edited base plan")
+	}
+	m := e.RunCycles(30)
+	if m.Cycles != 30 {
+		t.Fatalf("cycles = %d", m.Cycles)
+	}
+	// The new collector observes the edited base plan.
+	if got := len(e.Collector().NodeMeansUS()); got != base+2 {
+		t.Fatalf("collector sized %d, want %d", got, base+2)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -154,24 +155,43 @@ type ObsOptions struct {
 	TraceRing int
 }
 
+// topology is one epoch of the engine's graph world: the editable graph,
+// its compiled base plan (the node-ID space of every public API at that
+// epoch), the execution plan the scheduler actually runs (the base plan
+// itself or its fused compilation), and the observability collector
+// sized for it. The bundle is immutable once published; the engine
+// replaces the whole bundle atomically at a cycle boundary when an edit
+// is adopted, so any thread that Loads it gets a mutually consistent
+// (plan, collector) pair.
+type topology struct {
+	g        *graph.Graph
+	plan     *graph.Plan
+	execPlan *graph.Plan
+	col      *obs.Collector // nil when cfg.Obs.Disable
+}
+
 // Engine owns a session, a compiled plan, a scheduler and the timecode
 // front end.
 type Engine struct {
 	cfg     Config
 	session *graph.Session
-	// plan is the original compiled graph — the node-ID space of the
-	// collector, governor, watchdog, telemetry and every public API.
-	plan *graph.Plan
-	// execPlan is what the scheduler actually runs: plan itself, or its
-	// fused compilation when Config.FusePlan / RecompileFused installed
-	// one. Only the Cycle thread reads or replaces it.
-	execPlan *graph.Plan
-	sched    sched.Scheduler
-	// pendingSwap holds a recompiled scheduler waiting to be adopted at
-	// the next cycle boundary (see RecompileFused).
-	pendingSwap atomic.Pointer[schedSwap]
+	// topo is the live topology bundle (see topology). Cross-thread
+	// readers (Snapshot, Health, incident dumps, the watchdog) Load it;
+	// only the cycle thread Stores it, at edit adoption.
+	topo  atomic.Pointer[topology]
+	sched sched.Scheduler
+	// editMu serializes edit staging (ApplyEdits / ApplyPatch /
+	// RecompileFused); staged holds the topology bundle waiting for the
+	// next cycle boundary to adopt it (see edit.go).
+	editMu sync.Mutex
+	staged atomic.Pointer[stagedTopo]
+	// lastEdit is the most recent edit outcome (nil until one is staged).
+	lastEdit atomic.Pointer[EditOutcome]
 	// planEpoch counts adopted plan swaps (0 = construction plan).
 	planEpoch atomic.Uint64
+	// obsWorkers is the collector shard count, kept so structural edits
+	// can rebuild the collector for the new plan with the same sharding.
+	obsWorkers int
 	// ownedPool is the private pool behind Strategy == sched.NamePool
 	// (nil when a shared Pool was supplied or another strategy is used).
 	ownedPool *sched.Pool
@@ -196,8 +216,6 @@ type Engine struct {
 	gov *governor
 	wd  *watchdog
 
-	// col is the observability collector (nil when cfg.Obs.Disable).
-	col *obs.Collector
 	// tel is the telemetry collector and flight its incident recorder
 	// (both nil when cfg.Telemetry.Disable).
 	tel    *telemetry.Collector
@@ -212,11 +230,12 @@ type Engine struct {
 	live liveStats
 
 	// cycleN counts Cycle calls (the watchdog's cycle coordinate).
-	cycleN uint64
+	// Atomic so edit staging on other threads can stamp outcomes with it.
+	cycleN atomic.Uint64
 
 	masterTempo float64
 	prevGC      int
-	closed      bool
+	closed      atomic.Bool
 }
 
 // sharedSequence is built once per process; it is deterministic and
@@ -263,15 +282,15 @@ func New(cfg Config) (*Engine, error) {
 	}
 	// The collector is the scheduler's construction-time observer, so it
 	// must exist first; its shard count is the session's parallelism.
+	obsWorkers := threads
+	if cfg.Pool != nil {
+		obsWorkers = cfg.Pool.Workers() + 1
+	}
 	var collector *obs.Collector
 	var observer sched.Observer
 	if !cfg.Obs.Disable {
-		workers := threads
-		if cfg.Pool != nil {
-			workers = cfg.Pool.Workers() + 1
-		}
 		collector = obs.NewCollector(plan, obs.Config{
-			Workers:    workers,
+			Workers:    obsWorkers,
 			TraceEvery: cfg.Obs.TraceEvery,
 			TraceRing:  cfg.Obs.TraceRing,
 		})
@@ -307,15 +326,14 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:         cfg,
 		session:     session,
-		plan:        plan,
-		execPlan:    execPlan,
 		sched:       scheduler,
 		ownedPool:   ownedPool,
-		col:         collector,
+		obsWorkers:  obsWorkers,
 		seq:         sharedSequence,
 		lf:          lf,
 		masterTempo: 1,
 	}
+	e.topo.Store(&topology{g: g, plan: plan, execPlan: execPlan, col: collector})
 	e.userFactor.Store(math.Float64bits(1))
 	e.govFactor.Store(math.Float64bits(1))
 
@@ -445,9 +463,10 @@ func (e *Engine) Health() Health {
 		h.WindowMissRate = math.Float64frombits(e.gov.lastRate.Load())
 		h.WindowGraphP99MS = math.Float64frombits(e.gov.lastP99.Load())
 	}
-	for i := range e.plan.Names {
+	t := e.topo.Load()
+	for i := range t.plan.Names {
 		if e.sched.Quarantined(int32(i)) {
-			h.Quarantined = append(h.Quarantined, e.plan.Names[i])
+			h.Quarantined = append(h.Quarantined, t.plan.Names[i])
 		}
 	}
 	if e.wd != nil {
@@ -460,114 +479,46 @@ func (e *Engine) Health() Health {
 // Session exposes the audio session (decks, mixer, FX) for live control.
 func (e *Engine) Session() *graph.Session { return e.session }
 
-// Plan exposes the compiled task graph.
-func (e *Engine) Plan() *graph.Plan { return e.plan }
+// Plan exposes the compiled task graph of the current epoch.
+func (e *Engine) Plan() *graph.Plan { return e.topo.Load().plan }
+
+// Graph exposes the live (editable) task graph of the current epoch —
+// the base for building EditSets against current node IDs. A staged or
+// concurrently adopted edit may obsolete IDs read from it; ApplyEdits
+// validates every reference and fails cleanly on stale ones.
+func (e *Engine) Graph() *graph.Graph { return e.topo.Load().g }
 
 // Scheduler exposes the active scheduler.
 func (e *Engine) Scheduler() sched.Scheduler { return e.sched }
 
-// Collector exposes the observability collector (nil when disabled via
-// ObsOptions.Disable).
-func (e *Engine) Collector() *obs.Collector { return e.col }
+// Collector exposes the observability collector of the current epoch
+// (nil when disabled via ObsOptions.Disable). Structural edits replace
+// it — long-lived readers should re-fetch rather than cache it.
+func (e *Engine) Collector() *obs.Collector { return e.topo.Load().col }
 
 // ExecPlan exposes the plan the scheduler is actually running: Plan()
-// itself, or its fused compilation. Cycle-thread callers only — the
-// execution plan changes at cycle boundaries after RecompileFused.
-func (e *Engine) ExecPlan() *graph.Plan { return e.execPlan }
+// itself, or its fused compilation. The execution plan changes at cycle
+// boundaries when an edit or recompilation is adopted.
+func (e *Engine) ExecPlan() *graph.Plan { return e.topo.Load().execPlan }
 
-// PlanEpoch counts execution-plan swaps adopted so far (0 = the
+// PlanEpoch counts topology swaps adopted so far (0 = the
 // construction-time plan is still live). Safe from any thread.
 func (e *Engine) PlanEpoch() uint64 { return e.planEpoch.Load() }
 
-// schedSwap is a recompiled execution plan plus its ready scheduler,
-// parked until the cycle boundary adopts it.
-type schedSwap struct {
-	plan  *graph.Plan
-	sched sched.Scheduler
-}
-
-// RecompileFused compiles a new fused execution plan and stages it for
-// adoption at the next cycle boundary — the audio never stops: the
-// current cycle finishes on the old scheduler, the next starts on the
-// new one. costsUS supplies per-node cost estimates in µs (base-plan
-// IDs); nil means "best available" — the collector's measured means when
-// at least one cycle has been observed, else the static design table.
-//
-// The engine's public node-ID space is unchanged: the collector,
-// governor, watchdog, telemetry and Health still see base nodes. Safe to
-// call from any thread; concurrent calls race benignly (the last staged
-// swap wins, earlier ones are closed untaken). Engines attached to a
-// worker pool (Config.Pool or the pool strategy) cannot swap.
-func (e *Engine) RecompileFused(costsUS []float64) error {
-	if e.cfg.Pool != nil || e.ownedPool != nil {
-		return fmt.Errorf("engine: RecompileFused is not supported for pool-attached engines")
-	}
-	if costsUS == nil {
-		if e.col != nil {
-			if m, ok := e.col.CostModel(); ok {
-				costsUS = m
-			}
-		}
-		if costsUS == nil {
-			costsUS = rescon.PaperCostsUS(e.plan)
-		}
-	}
-	fused, err := graph.Fuse(e.plan, costsUS, e.cfg.Fuse)
-	if err != nil {
-		return err
-	}
-	threads := e.sched.Threads()
-	var observer sched.Observer
-	if e.col != nil {
-		observer = e.col
-	}
-	s, err := sched.New(e.sched.Name(), fused, sched.Options{Threads: threads, Observer: observer})
-	if err != nil {
-		return err
-	}
-	s.SetFaultPolicy(e.cfg.FaultPolicy)
-	if old := e.pendingSwap.Swap(&schedSwap{plan: fused, sched: s}); old != nil {
-		old.sched.Close()
-	}
-	return nil
-}
-
-// adoptSwap installs a staged scheduler at the cycle boundary: the fault
-// handler and current shed levels are re-applied to the fresh fault
-// state, the governor and watchdog are retargeted, and the old
-// scheduler's workers are released. Cycle thread only.
-func (e *Engine) adoptSwap(sw *schedSwap) {
-	old := e.sched
-	e.sched = sw.sched
-	e.execPlan = sw.plan
-	if e.tel != nil || e.cfg.Hooks.OnFault != nil {
-		e.sched.SetFaultHandler(e.onFault)
-	}
-	if e.gov != nil {
-		e.gov.retarget(e.sched)
-	}
-	if e.wd != nil {
-		e.wd.retarget(e.sched)
-	}
-	e.planEpoch.Add(1)
-	old.Close()
-}
-
 // Close releases the scheduler workers and restores the GC setting.
+// Close is idempotent and safe to call while an edit is staged: a
+// staged topology holds no running resources, so it is simply dropped.
 func (e *Engine) Close() {
-	if e.closed {
+	if !e.closed.CompareAndSwap(false, true) {
 		return
 	}
-	e.closed = true
 	if e.wd != nil {
 		e.wd.close()
 	}
 	if e.flight != nil {
 		e.flight.Flush()
 	}
-	if sw := e.pendingSwap.Swap(nil); sw != nil {
-		sw.sched.Close()
-	}
+	e.staged.Store(nil)
 	e.sched.Close()
 	if e.ownedPool != nil {
 		e.ownedPool.Close()
@@ -660,14 +611,12 @@ func (e *Engine) StampMetrics(m *Metrics) {
 
 // Cycle executes one APC, accumulating into m (which may be nil).
 func (e *Engine) Cycle(m *Metrics) {
-	// Adopt a staged plan recompilation first, so the whole cycle runs on
-	// one scheduler. The Load on the nil fast path is one uncontended
-	// atomic read.
-	if e.pendingSwap.Load() != nil {
-		if sw := e.pendingSwap.Swap(nil); sw != nil {
-			e.adoptSwap(sw)
-		}
+	// Adopt a staged topology edit first, so the whole cycle runs on one
+	// plan. The Load on the nil fast path is one uncontended atomic read.
+	if e.staged.Load() != nil {
+		e.adoptStaged()
 	}
+	topo := e.topo.Load()
 	t0 := time.Now()
 
 	// TP: timecode processing. Generate each turntable's control packet
@@ -685,9 +634,9 @@ func (e *Engine) Cycle(m *Metrics) {
 
 	// Graph: the task graph under the configured scheduling strategy,
 	// under the stall watchdog when enabled.
-	e.cycleN++
+	cyc := e.cycleN.Add(1)
 	if e.wd != nil {
-		e.wd.arm(e.cycleN)
+		e.wd.arm(cyc)
 	}
 	e.sched.Execute()
 	if e.wd != nil {
@@ -712,20 +661,20 @@ func (e *Engine) Cycle(m *Metrics) {
 	if e.tel != nil {
 		if e.tel.RecordCycle(t4.Unix(), t4.Sub(t0).Nanoseconds(), t3.Sub(t2).Nanoseconds(),
 			missed, int32(e.GovLevel())) {
-			e.flight.Trigger(e.cycleN, telemetry.TriggerBudget)
+			e.flight.Trigger(cyc, telemetry.TriggerBudget)
 		}
 	}
 	if e.cfg.Hooks.OnCycle != nil {
 		e.cfg.Hooks.OnCycle(CycleInfo{
-			Cycle: e.cycleN,
+			Cycle: cyc,
 			TPMS:  tp, GPMS: gp, GraphMS: gr, VCMS: vc, APCMS: apc,
 			DeadlineMiss: missed,
 		})
 	}
-	if e.col != nil && (e.flight != nil || e.cfg.Hooks.OnTrace != nil) {
-		if seq := e.col.TraceSeq(); seq != e.lastTraceSeq {
+	if topo.col != nil && (e.flight != nil || e.cfg.Hooks.OnTrace != nil) {
+		if seq := topo.col.TraceSeq(); seq != e.lastTraceSeq {
 			e.lastTraceSeq = seq
-			if e.col.LatestTrace(&e.traceScratch) {
+			if topo.col.LatestTrace(&e.traceScratch) {
 				if e.flight != nil {
 					e.flight.AddTrace(&e.traceScratch)
 				}

@@ -129,16 +129,27 @@ func TestEngineRecompileFusedConcurrent(t *testing.T) {
 	}
 }
 
-// TestEngineRecompileFusedPoolRejected: pool-attached engines share
-// their workers and cannot swap plans.
-func TestEngineRecompileFusedPoolRejected(t *testing.T) {
+// TestEngineRecompileFusedPool: pool-attached engines swap plans like
+// any other strategy now that swaps go through the scheduler's
+// StageSwap instead of rebuilding the scheduler (the pool's workers are
+// shared and survive the swap).
+func TestEngineRecompileFusedPool(t *testing.T) {
 	cfg := fastConfig(sched.NamePool, 2)
 	e, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	if err := e.RecompileFused(nil); err == nil {
-		t.Fatal("pool engine accepted RecompileFused")
+	e.RunCycles(5)
+	if err := e.RecompileFused(nil); err != nil {
+		t.Fatalf("pool engine rejected RecompileFused: %v", err)
 	}
+	e.Cycle(nil) // adopt at the boundary
+	if e.PlanEpoch() != 1 {
+		t.Fatalf("plan epoch = %d, want 1", e.PlanEpoch())
+	}
+	if !e.ExecPlan().IsFused() {
+		t.Fatal("exec plan not fused after pool recompile")
+	}
+	e.RunCycles(20)
 }

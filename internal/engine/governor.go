@@ -206,10 +206,13 @@ func (g *governor) applyShed(level GovLevel) {
 	}
 }
 
-// retarget points the governor at a freshly swapped scheduler and
-// replays the current level's shed bits into its clean fault state.
-// Cycle thread only (like observe/transition).
-func (g *governor) retarget(s sched.Scheduler) {
+// retarget points the governor at a freshly swapped scheduler and base
+// plan, replaying the current level's shed bits — nodes that joined in
+// the edit pick up the level's shedding, removed ones vanish with their
+// bits. Cycle thread only (like observe/transition), after the
+// scheduler has adopted the new plan.
+func (g *governor) retarget(s sched.Scheduler, p *graph.Plan) {
 	g.sched = s
+	g.plan = p
 	g.applyShed(g.Level())
 }

@@ -25,6 +25,8 @@ func (s *stubSched) Faults() sched.FaultStats                { return sched.Faul
 func (s *stubSched) SetNodeShed(id int32, shed bool)         { s.shed[id] = shed }
 func (s *stubSched) Quarantined(int32) bool                  { return false }
 func (s *stubSched) Inflight(int32) int32                    { return 0 }
+func (s *stubSched) StageSwap(sched.Swap) error              { return nil }
+func (s *stubSched) AdoptStaged() bool                       { return false }
 
 // govPlan is a four-node plan with one node of each sheddable kind plus
 // one audio node the governor must never touch.

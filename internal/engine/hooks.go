@@ -29,6 +29,29 @@ type Hooks struct {
 	// ObsOptions.TraceEvery cycles). The pointed-to trace is only valid
 	// during the call — copy it (obs-side slices are reused) to retain.
 	OnTrace func(*obs.CycleTrace)
+	// OnTopology is invoked on the cycle thread when a staged topology
+	// edit (ApplyEdits / ApplyPatch / RecompileFused) is adopted — or
+	// refused and rolled back — at a cycle boundary.
+	OnTopology func(TopologyChange)
+}
+
+// TopologyChange is one adoption decision on a staged topology edit,
+// delivered to Hooks.OnTopology.
+type TopologyChange struct {
+	// Cycle is the engine cycle at the adoption boundary.
+	Cycle uint64
+	// Epoch is the plan epoch after the decision (unchanged on a
+	// rollback).
+	Epoch uint64
+	// Nodes is the live base plan's node count after the decision.
+	Nodes int
+	// Ops counts the edit operations in the staged set.
+	Ops int
+	// Desc describes the edit ("insert-delay:A:2", "refuse", "3 ops").
+	Desc string
+	// Applied is false when the scheduler refused the swap and the old
+	// topology stayed live.
+	Applied bool
 }
 
 // CycleInfo is one completed APC's timing breakdown, delivered to

@@ -29,6 +29,7 @@ type DebugServer struct {
 //	/api/snapshot     – engine.Snapshot JSON (versioned)
 //	/api/critpath     – the measured critical path JSON
 //	/api/trace        – latest sampled cycles as Chrome trace JSON
+//	/api/edit         – POST {"patch":"<spec>"}: stage a live graph edit
 //	/metrics          – telemetry in OpenMetrics/Prometheus text format
 //	/api/slo          – deadline-miss budget status JSON
 //
@@ -56,13 +57,42 @@ func StartDebugServer(addr string, e *Engine) (*DebugServer, error) {
 		writeJSON(w, ps)
 	})
 	mux.HandleFunc("/api/trace", func(w http.ResponseWriter, _ *http.Request) {
-		col := e.Collector()
-		if col == nil {
+		// One topology load keeps the plan and collector from one epoch.
+		t := e.topo.Load()
+		if t.col == nil {
 			http.Error(w, `{"error":"observability disabled"}`, http.StatusServiceUnavailable)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = obs.WriteChromeTrace(w, e.Plan(), col.Traces())
+		_ = obs.WriteChromeTrace(w, t.plan, t.col.Traces())
+	})
+	mux.HandleFunc("/api/edit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, `{"error":"POST only"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		var req struct {
+			Patch string `json:"patch"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Patch == "" {
+			http.Error(w, `{"error":"body must be {\"patch\":\"<spec>\"}"}`, http.StatusBadRequest)
+			return
+		}
+		type editResp struct {
+			OK     bool   `json:"ok"`
+			Staged bool   `json:"staged"`
+			Epoch  uint64 `json:"epoch"`
+			Error  string `json:"error,omitempty"`
+		}
+		if err := e.ApplyPatch(req.Patch); err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			_ = json.NewEncoder(w).Encode(editResp{Epoch: e.PlanEpoch(), Error: err.Error()})
+			return
+		}
+		// The edit is staged; adoption happens at the next cycle boundary
+		// (watch plan_epoch in /api/snapshot).
+		writeJSON(w, editResp{OK: true, Staged: true, Epoch: e.PlanEpoch()})
 	})
 	if tel := e.Telemetry(); tel != nil {
 		reg := telemetry.NewRegistry(tel)

@@ -10,7 +10,12 @@ import (
 // SnapshotSchemaVersion identifies the Snapshot wire shape; consumers
 // (HTTP endpoint, middleware bus, UI) check it instead of sniffing
 // fields. Bump on any incompatible change.
-const SnapshotSchemaVersion = 1
+//
+// v2 added PlanEpoch and LastEdit (live topology editing); v1 consumers
+// that ignore unknown fields still parse v2 payloads, but node IDs in
+// Nodes/CritPath are only stable within one PlanEpoch, which v1 could
+// assume process-stable — hence the bump. See DESIGN.md §14.
+const SnapshotSchemaVersion = 2
 
 // Snapshot is the engine's unified point-in-time observability view:
 // whole-run cycle accounting, health/fault/degradation state, per-node
@@ -27,6 +32,13 @@ type Snapshot struct {
 	// Cycles is the engine's own cycle count (independent of any
 	// user-supplied Metrics sink).
 	Cycles uint64 `json:"cycles"`
+
+	// PlanEpoch counts adopted topology swaps (0 = construction plan);
+	// node IDs in Nodes/CritPath are stable within one epoch. Schema v2.
+	PlanEpoch uint64 `json:"plan_epoch"`
+	// LastEdit is the most recent live-edit outcome (nil when no edit
+	// has been attempted). Schema v2.
+	LastEdit *EditOutcome `json:"last_edit,omitempty"`
 
 	// Component means over the whole run, milliseconds.
 	TPMeanMS    float64 `json:"tp_mean_ms"`
@@ -93,7 +105,12 @@ func (e *Engine) Snapshot() Snapshot {
 		SchemaVersion: SnapshotSchemaVersion,
 		Strategy:      e.sched.Name(),
 		Threads:       e.sched.Threads(),
+		PlanEpoch:     e.planEpoch.Load(),
 		Health:        e.Health(),
+	}
+	if le := e.lastEdit.Load(); le != nil {
+		cp := *le
+		s.LastEdit = &cp
 	}
 	e.live.mu.Lock()
 	s.Cycles = e.live.cycles
@@ -114,9 +131,11 @@ func (e *Engine) Snapshot() Snapshot {
 		slo := e.tel.SLO()
 		s.SLO = &slo
 	}
-	if e.col != nil && s.Cycles > 0 {
-		s.Nodes = e.col.NodeStats()
-		cp := obs.CriticalPath(e.plan, e.col.NodeMeansUS())
+	// Load the topology bundle once: plan and collector are guaranteed
+	// mutually consistent inside it, even mid-edit.
+	if t := e.topo.Load(); t.col != nil && t.col.Cycles() > 0 {
+		s.Nodes = t.col.NodeStats()
+		cp := obs.CriticalPath(t.plan, t.col.NodeMeansUS())
 		s.CritPath = &cp
 	}
 	return s
@@ -126,8 +145,9 @@ func (e *Engine) Snapshot() Snapshot {
 // node means. ok is false when the collector is disabled or no cycle has
 // been observed yet.
 func (e *Engine) CriticalPath() (ps obs.PathStat, ok bool) {
-	if e.col == nil || e.col.Cycles() == 0 {
+	t := e.topo.Load()
+	if t.col == nil || t.col.Cycles() == 0 {
 		return obs.PathStat{}, false
 	}
-	return obs.CriticalPath(e.plan, e.col.NodeMeansUS()), true
+	return obs.CriticalPath(t.plan, t.col.NodeMeansUS()), true
 }

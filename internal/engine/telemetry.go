@@ -43,7 +43,7 @@ func (e *Engine) onFault(r sched.FaultRecord) {
 func (e *Engine) onGovChange(from, to GovLevel) {
 	if e.tel != nil {
 		e.tel.RecordGovTransition(int32(to))
-		e.flight.AddEvent(e.cycleN, "governor", from.String()+"->"+to.String())
+		e.flight.AddEvent(e.cycleN.Load(), "governor", from.String()+"->"+to.String())
 	}
 	if e.cfg.Hooks.OnGovChange != nil {
 		e.cfg.Hooks.OnGovChange(from, to)
@@ -67,16 +67,19 @@ func (e *Engine) onStall(r StallRecord) {
 // everything the offline analyzer needs to replay the analysis without
 // this process. Runs on the dump goroutine.
 func (e *Engine) fillIncident(inc *telemetry.Incident) {
+	// One topology load: the dump goroutine gets a plan and collector
+	// from the same epoch even if an edit lands mid-dump.
+	t := e.topo.Load()
 	inc.Threads = e.sched.Threads()
 	inc.Graph = telemetry.GraphInfo{
-		Names: e.plan.Names,
-		Order: e.plan.Order,
-		Preds: e.plan.PredLists(),
+		Names: t.plan.Names,
+		Order: t.plan.Order,
+		Preds: t.plan.PredLists(),
 	}
-	if e.col == nil {
+	if t.col == nil {
 		return
 	}
-	means := e.col.NodeMeansUS()
+	means := t.col.NodeMeansUS()
 	inc.NodeMeansUS = means
 	hasData := false
 	for _, m := range means {
@@ -86,7 +89,7 @@ func (e *Engine) fillIncident(inc *telemetry.Incident) {
 		}
 	}
 	if hasData {
-		ps := obs.CriticalPath(e.plan, means)
+		ps := obs.CriticalPath(t.plan, means)
 		inc.CritPath = &ps
 	}
 }

@@ -35,11 +35,12 @@ type StallRecord struct {
 // turning a silent hang into an actionable diagnostic. Detection is
 // level-triggered once per cycle.
 type watchdog struct {
-	// sref holds the watched scheduler behind a pointer so the cycle
-	// thread can retarget it after a plan swap while the monitor
-	// goroutine reads it concurrently.
+	// sref holds the watched scheduler and the base plan naming its
+	// nodes behind one pointer, so the cycle thread can retarget both
+	// together after a plan swap while the monitor goroutine reads them
+	// concurrently (diagnose needs a plan consistent with the scheduler
+	// it polls).
 	sref atomic.Pointer[schedBox]
-	plan *graph.Plan
 	wall time.Duration
 
 	// startNs is the armed graph-execution start time (0 = not armed).
@@ -59,27 +60,32 @@ type watchdog struct {
 	done chan struct{}
 }
 
-// schedBox wraps the Scheduler interface for atomic.Pointer (interfaces
-// with varying concrete types cannot go into atomic.Value directly).
-type schedBox struct{ s sched.Scheduler }
+// schedBox wraps the Scheduler interface plus its base plan for
+// atomic.Pointer (interfaces with varying concrete types cannot go into
+// atomic.Value directly).
+type schedBox struct {
+	s    sched.Scheduler
+	plan *graph.Plan
+}
 
 func newWatchdog(s sched.Scheduler, p *graph.Plan, wall time.Duration, onStall func(StallRecord)) *watchdog {
 	w := &watchdog{
-		plan:    p,
 		wall:    wall,
 		onStall: onStall,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	w.sref.Store(&schedBox{s: s})
+	w.sref.Store(&schedBox{s: s, plan: p})
 	go w.monitor()
 	return w
 }
 
-// retarget points the watchdog at a freshly swapped scheduler. The old
-// scheduler's Inflight remains readable after Close, so a mid-poll race
-// at worst reads the retiring scheduler's idle state once.
-func (w *watchdog) retarget(s sched.Scheduler) { w.sref.Store(&schedBox{s: s}) }
+// retarget points the watchdog at a freshly swapped scheduler and plan.
+// A mid-poll race at worst diagnoses against the retiring topology once
+// (Inflight is bounds-guarded in the scheduler).
+func (w *watchdog) retarget(s sched.Scheduler, p *graph.Plan) {
+	w.sref.Store(&schedBox{s: s, plan: p})
+}
 
 // arm marks the start of a graph execution (cycle thread).
 func (w *watchdog) arm(cycle uint64) {
@@ -150,22 +156,27 @@ func (w *watchdog) diagnose(gen uint64, elapsed time.Duration) StallRecord {
 		ElapsedMS: float64(elapsed) / 1e6,
 	}
 	var b strings.Builder
-	s := w.sref.Load().s
+	box := w.sref.Load()
+	s := box.s
 	for wk := int32(0); wk < int32(s.Threads()); wk++ {
 		in := s.Inflight(wk)
 		if in == 0 {
 			continue
 		}
 		node := in - 1
+		name := "?"
+		if int(node) < len(box.plan.Names) {
+			name = box.plan.Names[node]
+		}
 		if rec.Node < 0 {
 			rec.Node = node
-			rec.Name = w.plan.Names[node]
+			rec.Name = name
 			rec.Worker = wk
 		}
 		if b.Len() > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "w%d:%s", wk, w.plan.Names[node])
+		fmt.Fprintf(&b, "w%d:%s", wk, name)
 	}
 	rec.Inflight = b.String()
 	return rec

@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"djstar/internal/engine"
+	"djstar/internal/graph"
+	"djstar/internal/sched"
+	"djstar/internal/stats"
+)
+
+// EditSwap measures the latency cost of a live topology edit
+// (EXPERIMENTS.md R6): the paper's motivation is that "DJs often change
+// effects or mixer parameters during their live performances" — this
+// experiment changes the GRAPH itself mid-run and asks what the cycle
+// that adopts the new plan costs relative to steady state. Each strategy
+// runs the full DJ Star engine; a live delay chain is repeatedly
+// inserted into and excised from a playing deck's signal path, and the
+// duration of every cycle is recorded, split by whether that cycle
+// adopted a staged swap (epoch advanced) or ran steady state. The
+// headline number is the boundary-cycle p99 against the steady p99 —
+// live editing is free exactly when the two are within noise of each
+// other.
+
+// EditSwapRow is one strategy's swap-boundary measurement.
+type EditSwapRow struct {
+	Strategy string
+	Threads  int
+	// Swaps is the number of adopted topology edits.
+	Swaps int
+	// SteadyP50US/SteadyP99US summarize non-boundary cycles (µs).
+	SteadyP50US float64
+	SteadyP99US float64
+	// BoundaryP50US/BoundaryP99US/BoundaryMaxUS summarize the cycles
+	// that adopted a staged swap.
+	BoundaryP50US float64
+	BoundaryP99US float64
+	BoundaryMaxUS float64
+	// P99Ratio is BoundaryP99US / SteadyP99US.
+	P99Ratio float64
+	// Misses counts deadline misses over the whole editing phase.
+	Misses int64
+}
+
+// EditSwapResult is the structured outcome of the R6 experiment.
+type EditSwapResult struct {
+	Cycles    int
+	SwapEvery int
+	Rows      []EditSwapRow
+}
+
+// editSwapStrategies: the paper's parallel strategies, the two extra
+// executors, and a pool-backed session — every configuration ApplyEdits
+// supports.
+var editSwapStrategies = []string{
+	sched.NameBusyWait, sched.NameSleep, sched.NameWorkSteal,
+	sched.NameSleepScan, sched.NameStatic, sched.NamePool,
+}
+
+// editSwapRun measures one strategy: steady warmup, then o.Cycles cycles
+// with a patch staged every swapEvery cycles (alternating insert/remove
+// so the graph oscillates between N and N+2 nodes).
+func editSwapRun(name string, o Options, swapEvery int) (EditSwapRow, error) {
+	gc := graph.DefaultConfig()
+	gc.TrackBars = o.TrackBars
+	threads := o.MaxThreads
+	e, err := engine.New(engine.Config{
+		Graph: gc, Strategy: name, Threads: threads,
+		// Full-scale runs measure without GC noise, like the other latency
+		// experiments: a GC assist landing on the one cycle that adopts a
+		// swap would be indistinguishable from real adoption cost.
+		DisableGC: o.Scale >= 0.5,
+	})
+	if err != nil {
+		return EditSwapRow{}, err
+	}
+	defer e.Close()
+
+	warm := min(o.Cycles/10+1, 500)
+	for i := 0; i < warm; i++ {
+		e.Cycle(nil)
+	}
+
+	var steady, boundary []float64
+	var misses int64
+	insert := true
+	for i := 0; i < o.Cycles; i++ {
+		if i%swapEvery == swapEvery-1 {
+			spec := "insert-delay:B:2"
+			if !insert {
+				spec = "remove-delay:B"
+			}
+			insert = !insert
+			if err := e.ApplyPatch(spec); err != nil {
+				return EditSwapRow{}, fmt.Errorf("%s: %s: %w", name, spec, err)
+			}
+		}
+		epochBefore := e.PlanEpoch()
+		t0 := time.Now()
+		e.Cycle(nil)
+		us := float64(time.Since(t0).Nanoseconds()) / 1e3
+		if us > engine.DeadlineMS*1e3 {
+			misses++
+		}
+		if e.PlanEpoch() != epochBefore {
+			boundary = append(boundary, us)
+		} else {
+			steady = append(steady, us)
+		}
+	}
+	if len(boundary) == 0 {
+		return EditSwapRow{}, fmt.Errorf("%s: no swap was adopted", name)
+	}
+	sp := stats.Percentiles(steady, 0.50, 0.99)
+	bp := stats.Percentiles(boundary, 0.50, 0.99, 1.0)
+	return EditSwapRow{
+		Strategy:      name,
+		Threads:       threads,
+		Swaps:         len(boundary),
+		SteadyP50US:   sp[0],
+		SteadyP99US:   sp[1],
+		BoundaryP50US: bp[0],
+		BoundaryP99US: bp[1],
+		BoundaryMaxUS: bp[2],
+		P99Ratio:      bp[1] / sp[1],
+		Misses:        misses,
+	}, nil
+}
+
+// EditSwap runs the live-edit swap-boundary latency experiment (R6).
+func EditSwap(o Options) (*EditSwapResult, error) {
+	o.normalize()
+	swapEvery := 50
+	if o.Cycles < 500 {
+		swapEvery = 20
+	}
+	res := &EditSwapResult{Cycles: o.Cycles, SwapEvery: swapEvery}
+	fprintf(o.Out, "live-edit swap boundary: full DJ Star graph, one insert/remove of a 2-unit delay chain every %d cycles, %d cycles per strategy\n\n",
+		swapEvery, o.Cycles)
+
+	var rows [][]string
+	for _, name := range editSwapStrategies {
+		row, err := editSwapRun(name, o, swapEvery)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", row.Swaps),
+			fmt.Sprintf("%.0f", row.SteadyP50US),
+			fmt.Sprintf("%.0f", row.SteadyP99US),
+			fmt.Sprintf("%.0f", row.BoundaryP50US),
+			fmt.Sprintf("%.0f", row.BoundaryP99US),
+			fmt.Sprintf("%.0f", row.BoundaryMaxUS),
+			fmt.Sprintf("%.2fx", row.P99Ratio),
+			fmt.Sprintf("%d", row.Misses),
+		})
+	}
+	fprintf(o.Out, "%s", stats.RenderTable(
+		[]string{"strategy", "swaps", "steady p50", "steady p99",
+			"swap p50", "swap p99", "swap max", "p99 ratio", "misses"}, rows))
+	fprintf(o.Out, "\nall times µs per cycle; 'swap' rows are the cycles that adopted a staged topology edit (state migration + scheduler replan + collector swap included)\n")
+	return res, nil
+}

@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEditSwapShape(t *testing.T) {
+	var buf bytes.Buffer
+	o := quickOpts(&buf)
+	o.Cycles = 240
+	res, err := EditSwap(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(editSwapStrategies) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(editSwapStrategies))
+	}
+	for _, r := range res.Rows {
+		if r.Swaps < 2 {
+			t.Fatalf("%s: only %d swaps adopted", r.Strategy, r.Swaps)
+		}
+		if r.SteadyP99US <= 0 || r.BoundaryP99US <= 0 {
+			t.Fatalf("%s: non-positive percentile %+v", r.Strategy, r)
+		}
+		if r.P99Ratio <= 0 {
+			t.Fatalf("%s: bad ratio %+v", r.Strategy, r)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"live-edit swap boundary", "p99 ratio", "swap p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -110,6 +110,17 @@ type Node struct {
 	// Flush, when non-nil, silences the node's output buffer after Run
 	// panicked mid-write, so a half-written packet is never audible.
 	Flush func()
+	// State is the node's migratable state handle (filter memories, delay
+	// lines, meter accumulators). The graph never touches it; it exists so
+	// a live edit (Graph.Apply) can hand it to a successor node's Migrate
+	// hook when the topology is swapped under a running engine.
+	State any
+	// Migrate, when non-nil, is invoked once when a plan containing this
+	// node is adopted by a live engine, with the State of the node it
+	// descends from in the previous epoch (nil for a brand-new node). It
+	// runs on the cycle thread between two cycles, so it may touch audio
+	// state freely.
+	Migrate func(prev any)
 
 	deps  []int
 	succs []int
@@ -187,6 +198,12 @@ type Plan struct {
 	// Flush holds each node's output-silencing hook (nil = nothing to
 	// silence), run after a recovered node panic.
 	Flush []func()
+	// States holds each node's migratable state handle (nil = stateless);
+	// Migrate the per-node adoption hooks. Both are consulted only when a
+	// live edit swaps this plan in under a running engine (see Node.State
+	// and Node.Migrate).
+	States  []any
+	Migrate []func(prev any)
 	// Order is the queue insertion order: ascending depth, ties broken by
 	// node ID ("column by column and from left to right", paper §IV).
 	Order []int32
@@ -353,6 +370,8 @@ func (g *Graph) Compile() (*Plan, error) {
 		Run:              make([]func(), n),
 		Bypass:           make([]func(), n),
 		Flush:            make([]func(), n),
+		States:           make([]any, n),
+		Migrate:          make([]func(prev any), n),
 		Order:            order,
 		Indegree:         indeg,
 		Depth:            depth,
@@ -368,6 +387,8 @@ func (g *Graph) Compile() (*Plan, error) {
 		p.Run[i] = node.Run
 		p.Bypass[i] = node.Bypass
 		p.Flush[i] = node.Flush
+		p.States[i] = node.State
+		p.Migrate[i] = node.Migrate
 		edges += len(node.deps)
 		if depth[i] > maxDepth {
 			maxDepth = depth[i]
@@ -465,6 +486,8 @@ func PlanFromLists(names []string, order []int32, preds [][]int32) *Plan {
 		Run:      make([]func(), n),
 		Bypass:   make([]func(), n),
 		Flush:    make([]func(), n),
+		States:   make([]any, n),
+		Migrate:  make([]func(prev any), n),
 		Order:    append([]int32(nil), order...),
 		Indegree: make([]int32, n),
 		Depth:    make([]int32, n),

@@ -195,16 +195,17 @@ func (b *Bus) SubscriberCount(topic string) int {
 
 // Standard topics published by the application facade.
 const (
-	TopicDeckPosition = "deck.position"  // payload DeckPosition
-	TopicMeterMaster  = "meter.master"   // payload MeterLevels
-	TopicMeterDeck    = "meter.deck"     // payload MeterLevels
-	TopicBeat         = "engine.beat"    // payload Beat
-	TopicDeadlineMiss = "engine.miss"    // payload DeadlineMiss
-	TopicControl      = "hw.control"     // payload hardware.ControlEvent
-	TopicHealth       = "engine.health"  // payload HealthReport
-	TopicFault        = "engine.fault"   // payload FaultEvent
-	TopicDegrade      = "engine.degrade" // payload DegradeEvent
-	TopicTrace        = "engine.trace"   // payload ScheduleTrace
+	TopicDeckPosition = "deck.position"   // payload DeckPosition
+	TopicMeterMaster  = "meter.master"    // payload MeterLevels
+	TopicMeterDeck    = "meter.deck"      // payload MeterLevels
+	TopicBeat         = "engine.beat"     // payload Beat
+	TopicDeadlineMiss = "engine.miss"     // payload DeadlineMiss
+	TopicControl      = "hw.control"      // payload hardware.ControlEvent
+	TopicHealth       = "engine.health"   // payload HealthReport
+	TopicFault        = "engine.fault"    // payload FaultEvent
+	TopicDegrade      = "engine.degrade"  // payload DegradeEvent
+	TopicTrace        = "engine.trace"    // payload ScheduleTrace
+	TopicTopology     = "engine.topology" // payload TopologyEvent
 )
 
 // DeckPosition reports a deck's playhead (UI waveform cursor).
@@ -274,6 +275,26 @@ type HealthReport struct {
 	SLOBudgetRemaining float64
 	SLOBurnRate1m      float64
 	SLOExhausted       bool
+	// PlanEpoch counts live topology edits adopted so far (0 = the
+	// construction graph is unchanged); LastEdit summarizes the most
+	// recent edit outcome ("" when none has been attempted).
+	PlanEpoch uint64
+	LastEdit  string
+}
+
+// TopologyEvent reports one live graph-edit adoption decision (published
+// on TopicTopology).
+type TopologyEvent struct {
+	// Cycle is the engine cycle at the adoption boundary.
+	Cycle uint64
+	// Epoch is the plan epoch after the decision.
+	Epoch uint64
+	// Nodes is the live graph's node count after the decision.
+	Nodes int
+	// Desc describes the edit ("insert-delay:A:2", "refuse", "3 ops").
+	Desc string
+	// Applied is false when the swap was refused and rolled back.
+	Applied bool
 }
 
 // FaultEvent reports one contained node panic.

@@ -25,6 +25,15 @@ type policy interface {
 	beginCycle(c *core)
 	// runCycle is worker w's participation in the iteration gen.
 	runCycle(c *core, w int32, gen uint64)
+	// prestage builds the policy's per-plan state (node lists, deques)
+	// for a staged plan. It runs on the STAGING goroutine, possibly
+	// concurrent with a cycle in flight, so it must only read immutable
+	// policy configuration — never the live per-cycle state.
+	prestage(p *graph.Plan, threads int) any
+	// replan installs per-plan state after a topology swap: pre is the
+	// prestage result (rebuilt inline when nil). It runs on the adoption
+	// thread between cycles (see core.AdoptStaged).
+	replan(c *core, pre any)
 	// closing is called once when the core shuts down, before workers
 	// are released from their between-cycle wait.
 	closing(c *core)
@@ -118,6 +127,12 @@ type core struct {
 	start  []chan struct{}
 	doneCh chan struct{}
 
+	// staged holds a pending topology swap plus everything adoption will
+	// need pre-allocated (see swap.go); published by StageSwap from any
+	// goroutine, consumed by AdoptStaged between cycles on the Execute
+	// thread.
+	staged atomic.Pointer[stagedSwap]
+
 	closed atomic.Bool
 }
 
@@ -203,6 +218,9 @@ func (c *core) Threads() int { return c.threads }
 func (c *core) Execute() {
 	if c.closed.Load() {
 		panic("sched: Execute called after Close")
+	}
+	if c.staged.Load() != nil {
+		c.AdoptStaged()
 	}
 	if c.obs != nil {
 		c.obs.BeginCycle()

@@ -85,17 +85,14 @@ const (
 	stateShed
 )
 
-// faultState is the per-scheduler fault-tolerance state. It is embedded
-// by every Scheduler implementation, promoting the fault-management
-// methods of the Scheduler interface.
-type faultState struct {
-	fplan  *graph.Plan
-	policy FaultPolicy
-	// handler is invoked synchronously from the recovering worker; it
-	// must be installed before the first Execute or between cycles, and
-	// must be safe to call from any worker thread.
-	handler func(FaultRecord)
-
+// faultArrays is the per-node fault state of one plan epoch: all arrays
+// are indexed by BASE node IDs. The whole set swaps atomically when a
+// topology edit is adopted (see faultState.adopt), so cross-thread
+// readers — Health snapshots calling Quarantined, the governor calling
+// SetNodeShed — always see arrays consistent with one plan.
+type faultArrays struct {
+	// plan is the base plan the arrays are indexed by.
+	plan *graph.Plan
 	// state[i] holds the quarantine/shed bits of node i.
 	state []atomic.Uint32
 	// consec[i] counts node i's consecutive faults (reset on success).
@@ -103,9 +100,26 @@ type faultState struct {
 	// probeAt[i] is the cycle generation at which a quarantined node i is
 	// next probed.
 	probeAt []atomic.Uint64
+}
+
+// faultState is the per-scheduler fault-tolerance state. It is embedded
+// by every Scheduler implementation, promoting the fault-management
+// methods of the Scheduler interface.
+type faultState struct {
+	policy FaultPolicy
+	// handler is invoked synchronously from the recovering worker; it
+	// must be installed before the first Execute or between cycles, and
+	// must be safe to call from any worker thread.
+	handler func(FaultRecord)
+
+	// arr holds the per-node arrays of the current plan epoch. Readers
+	// load it once per operation and index only within its bounds, so a
+	// concurrent adopt (which replaces the whole set) is safe.
+	arr atomic.Pointer[faultArrays]
+
 	// running[w] holds 1 + the node worker w is currently executing
 	// (0 = idle); the engine's stall watchdog reads it to name the stuck
-	// node.
+	// node. Worker count never changes across swaps, so this array stays.
 	running []atomic.Int32
 
 	recovered   atomic.Int64
@@ -114,24 +128,74 @@ type faultState struct {
 	restored    atomic.Int64
 }
 
-// newFaultState sizes the fault-tolerance state for a plan and worker
-// count. Fault state is always indexed by BASE node IDs: on a fused plan
-// (graph.Fuse) each member of a fused unit is guarded, counted and
-// quarantined individually, so the arrays are sized by BaseLen.
-func newFaultState(p *graph.Plan, workers int) *faultState {
+// newFaultArrays sizes per-node fault arrays for a plan. Fault state is
+// always indexed by BASE node IDs: on a fused plan (graph.Fuse) each
+// member of a fused unit is guarded, counted and quarantined
+// individually, so the arrays are sized by BaseLen.
+func newFaultArrays(p *graph.Plan) *faultArrays {
 	base := p
 	if p.Base != nil {
 		base = p.Base
 	}
 	n := p.BaseLen()
-	return &faultState{
-		fplan:   base,
-		policy:  FaultPolicy{}.withDefaults(),
+	return &faultArrays{
+		plan:    base,
 		state:   make([]atomic.Uint32, n),
 		consec:  make([]atomic.Int32, n),
 		probeAt: make([]atomic.Uint64, n),
+	}
+}
+
+// newFaultState sizes the fault-tolerance state for a plan and worker
+// count.
+func newFaultState(p *graph.Plan, workers int) *faultState {
+	f := &faultState{
+		policy:  FaultPolicy{}.withDefaults(),
 		running: make([]atomic.Int32, workers),
 	}
+	f.arr.Store(newFaultArrays(p))
+	return f
+}
+
+// adopt rebinds the fault arrays to a new plan epoch, carrying each
+// surviving node's quarantine bit, shed bit, consecutive-fault count and
+// probe deadline through the remap — a node quarantined before the edit
+// stays quarantined after it, under its new ID. oldToNew == nil means
+// the base topology is unchanged (a re-fusion): when the base plan is
+// literally the same, the arrays are kept; otherwise state is copied by
+// identity index. Runs between cycles on the adoption thread.
+func (f *faultState) adopt(p *graph.Plan, oldToNew []int32) {
+	f.adoptInto(newFaultArrays(p), oldToNew)
+}
+
+// adoptInto is adopt with the destination arrays allocated by the
+// caller — schedulers pre-size them at staging time (off the audio
+// path) so the adoption boundary only copies surviving state. next must
+// be freshly zeroed and sized for the new plan (newFaultArrays).
+func (f *faultState) adoptInto(next *faultArrays, oldToNew []int32) {
+	old := f.arr.Load()
+	if oldToNew == nil && next.plan == old.plan {
+		return
+	}
+	n := len(next.state)
+	if oldToNew == nil {
+		m := min(n, len(old.state))
+		for i := 0; i < m; i++ {
+			next.state[i].Store(old.state[i].Load())
+			next.consec[i].Store(old.consec[i].Load())
+			next.probeAt[i].Store(old.probeAt[i].Load())
+		}
+	} else {
+		for oldID, newID := range oldToNew {
+			if newID < 0 || int(newID) >= n || oldID >= len(old.state) {
+				continue
+			}
+			next.state[newID].Store(old.state[oldID].Load())
+			next.consec[newID].Store(old.consec[oldID].Load())
+			next.probeAt[newID].Store(old.probeAt[oldID].Load())
+		}
+	}
+	f.arr.Store(next)
 }
 
 // SetFaultPolicy implements Scheduler. Zero fields select defaults;
@@ -156,24 +220,35 @@ func (f *faultState) Faults() FaultStats {
 // SetNodeShed implements Scheduler: a shed node runs its Bypass stand-in
 // (or is skipped) instead of its kernel until un-shed. The engine's
 // deadline governor drives this; it takes effect on the next cycle.
+// IDs outside the current plan epoch (a caller racing a topology swap)
+// are ignored.
 func (f *faultState) SetNodeShed(id int32, shed bool) {
+	a := f.arr.Load()
+	if id < 0 || int(id) >= len(a.state) {
+		return
+	}
 	for {
-		old := f.state[id].Load()
+		old := a.state[id].Load()
 		var next uint32
 		if shed {
 			next = old | stateShed
 		} else {
 			next = old &^ stateShed
 		}
-		if old == next || f.state[id].CompareAndSwap(old, next) {
+		if old == next || a.state[id].CompareAndSwap(old, next) {
 			return
 		}
 	}
 }
 
-// Quarantined implements Scheduler.
+// Quarantined implements Scheduler. IDs outside the current plan epoch
+// (a caller racing a topology swap) report false.
 func (f *faultState) Quarantined(id int32) bool {
-	return f.state[id].Load()&stateQuarantined != 0
+	a := f.arr.Load()
+	if id < 0 || int(id) >= len(a.state) {
+		return false
+	}
+	return a.state[id].Load()&stateQuarantined != 0
 }
 
 // Inflight implements Scheduler: 1 + the node worker w is currently
@@ -207,33 +282,36 @@ func (f *faultState) exec(p *graph.Plan, o Observer, id, w int32, gen uint64) {
 	f.execNode(p, o, id, w, gen)
 }
 
-// execNode is exec for a single unfused node.
+// execNode is exec for a single unfused node. The fault arrays are
+// loaded once per call: a topology swap never happens while a cycle is
+// in flight, so the arrays match the plan the caller is executing.
 func (f *faultState) execNode(p *graph.Plan, o Observer, id, w int32, gen uint64) {
-	st := f.state[id].Load()
+	a := f.arr.Load()
+	st := a.state[id].Load()
 	if st == 0 {
 		f.running[w].Store(id + 1)
 		if err, ok := f.guard(p, o, id, w); ok {
-			if f.consec[id].Load() != 0 {
-				f.consec[id].Store(0)
+			if a.consec[id].Load() != 0 {
+				a.consec[id].Store(0)
 			}
 		} else {
-			f.noteFault(p, id, w, gen, err)
+			f.noteFault(a, p, id, w, gen, err)
 		}
 		f.running[w].Store(0)
 		return
 	}
 	// Quarantined and due for a probe: one guarded attempt at the real
 	// kernel decides whether the quarantine lifts.
-	if st&stateQuarantined != 0 && st&stateShed == 0 && gen >= f.probeAt[id].Load() {
+	if st&stateQuarantined != 0 && st&stateShed == 0 && gen >= a.probeAt[id].Load() {
 		f.probes.Add(1)
 		f.running[w].Store(id + 1)
 		if err, ok := f.guard(p, o, id, w); ok {
-			f.clearQuarantine(id)
-			f.consec[id].Store(0)
+			f.clearQuarantine(a, id)
+			a.consec[id].Store(0)
 			f.restored.Add(1)
 		} else {
-			f.probeAt[id].Store(gen + f.policy.ProbeEvery)
-			f.noteFault(p, id, w, gen, err)
+			a.probeAt[id].Store(gen + f.policy.ProbeEvery)
+			f.noteFault(a, p, id, w, gen, err)
 		}
 		f.running[w].Store(0)
 		return
@@ -282,16 +360,16 @@ func (f *faultState) safely(fn func()) {
 
 // noteFault records a contained fault: flush the node's half-written
 // output, count towards quarantine, and report to the handler.
-func (f *faultState) noteFault(p *graph.Plan, id, w int32, gen uint64, err any) {
+func (f *faultState) noteFault(a *faultArrays, p *graph.Plan, id, w int32, gen uint64, err any) {
 	f.recovered.Add(1)
 	if fl := p.Flush[id]; fl != nil {
 		f.safely(fl)
 	}
 	quarantined := false
-	if n := f.consec[id].Add(1); int(n) >= f.policy.QuarantineAfter {
-		if f.setQuarantine(id) {
+	if n := a.consec[id].Add(1); int(n) >= f.policy.QuarantineAfter {
+		if f.setQuarantine(a, id) {
 			f.quarantines.Add(1)
-			f.probeAt[id].Store(gen + f.policy.ProbeEvery)
+			a.probeAt[id].Store(gen + f.policy.ProbeEvery)
 			quarantined = true
 		}
 	}
@@ -309,26 +387,26 @@ func (f *faultState) noteFault(p *graph.Plan, id, w int32, gen uint64, err any) 
 
 // setQuarantine sets the quarantine bit, reporting whether this call
 // performed the transition.
-func (f *faultState) setQuarantine(id int32) bool {
+func (f *faultState) setQuarantine(a *faultArrays, id int32) bool {
 	for {
-		old := f.state[id].Load()
+		old := a.state[id].Load()
 		if old&stateQuarantined != 0 {
 			return false
 		}
-		if f.state[id].CompareAndSwap(old, old|stateQuarantined) {
+		if a.state[id].CompareAndSwap(old, old|stateQuarantined) {
 			return true
 		}
 	}
 }
 
 // clearQuarantine clears the quarantine bit (shed state is preserved).
-func (f *faultState) clearQuarantine(id int32) {
+func (f *faultState) clearQuarantine(a *faultArrays, id int32) {
 	for {
-		old := f.state[id].Load()
+		old := a.state[id].Load()
 		if old&stateQuarantined == 0 {
 			return
 		}
-		if f.state[id].CompareAndSwap(old, old&^stateQuarantined) {
+		if a.state[id].CompareAndSwap(old, old&^stateQuarantined) {
 			return
 		}
 	}

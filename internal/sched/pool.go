@@ -111,11 +111,13 @@ func (p *Pool) Attach(plan *graph.Plan, o Options) (*PoolSession, error) {
 			faultState: newFaultState(plan, p.workers+1),
 			pool:       p,
 			slot:       int32(i),
-			plan:       plan,
-			obs:        o.Observer,
-			pending:    make([]atomic.Int32, plan.Len()),
-			claimed:    make([]atomic.Uint64, plan.Len()),
 		}
+		s.topo.Store(&poolTopo{
+			plan:    plan,
+			obs:     o.Observer,
+			pending: make([]atomic.Int32, plan.Len()),
+			claimed: make([]atomic.Uint64, plan.Len()),
+		})
 		p.slots[i].sess.Store(s)
 		p.slots[i].state.Store(slotIdle)
 		return s, nil
@@ -205,9 +207,10 @@ func (p *Pool) anyClaimable() bool {
 		if sess == nil {
 			continue
 		}
-		gen := sess.gen.Load()
-		for _, id := range sess.plan.RankOrder {
-			if sess.claimed[id].Load() < gen && sess.pending[id].Load() == 0 {
+		t := sess.topo.Load()
+		gen := t.gen.Load()
+		for _, id := range t.plan.RankOrder {
+			if t.claimed[id].Load() < gen && t.pending[id].Load() == 0 {
 				return true
 			}
 		}
@@ -245,10 +248,43 @@ type PoolSession struct {
 
 	pool *Pool
 	slot int32
+
+	// topo bundles the session's plan with ALL of its per-cycle claim
+	// state — including the cycle counter. The bundle swaps atomically
+	// on a topology edit (see AdoptStaged); bundling gen with the claim
+	// arrays is what makes the swap safe against stale helpers: a pool
+	// worker that loaded the old bundle just before a swap reads the OLD
+	// bundle's gen, which is frozen at the last completed cycle, and a
+	// completed cycle leaves every old claim stamp at that generation —
+	// so the stale helper's CAS can never win a node again. Had gen
+	// lived on the session, that helper could pair the old arrays with
+	// the NEW cycle's generation and re-claim (double-run) an old node.
+	topo atomic.Pointer[poolTopo]
+
+	// staged holds a pending topology swap (StageSwap/AdoptStaged).
+	staged atomic.Pointer[poolStaged]
+
+	closed atomic.Bool
+}
+
+// poolStaged is a staged swap plus the allocations adoption will
+// install, pre-sized at staging time on the staging goroutine: the new
+// epoch's topo bundle (its gen and claim stamps are filled at adoption,
+// when the current generation is known) and the new fault arrays.
+type poolStaged struct {
+	sw     Swap
+	topo   *poolTopo
+	faults *faultArrays
+}
+
+// poolTopo is one plan epoch of a pool session: the compiled plan, the
+// observer recording it, and the claim-protocol state.
+type poolTopo struct {
 	plan *graph.Plan
-	// obs is the construction-time observer (nil = none). Pool workers
-	// record their pool worker index; the session's own caller records
-	// index Threads()-1.
+	// obs is the epoch's observer (nil = none). Pool workers record
+	// their pool worker index; the session's own caller records index
+	// Threads()-1. It lives in the bundle because helpers read it from
+	// other threads — the bundle pointer load publishes it.
 	obs Observer
 
 	// pending[i] counts node i's unfinished dependencies this cycle.
@@ -258,15 +294,15 @@ type PoolSession struct {
 	// generation; the winning CAS to the current generation grants the
 	// exclusive right to run it. Stamps are monotonic, so a worker
 	// holding a stale generation can never claim (and thus never
-	// double-run) a node of a later cycle.
+	// double-run) a node of a later cycle. A freshly adopted epoch's
+	// stamps start at the adoption generation (not zero) so helpers
+	// still holding the pre-swap generation cannot claim from it.
 	claimed []atomic.Uint64
-	// gen is the session's cycle counter.
+	// gen is the cycle counter of this epoch (continues across swaps).
 	gen atomic.Uint64
 	// remaining counts nodes not yet completed this cycle; the Execute
 	// caller returns when it reaches zero.
 	remaining atomic.Int32
-
-	closed atomic.Bool
 }
 
 // Name implements Scheduler.
@@ -283,49 +319,107 @@ func (s *PoolSession) Execute() {
 	if s.closed.Load() || s.pool.closed.Load() {
 		panic("sched: Execute called after Close")
 	}
-	if s.obs != nil {
-		s.obs.BeginCycle()
+	if s.staged.Load() != nil {
+		s.AdoptStaged()
+	}
+	t := s.topo.Load()
+	if t.obs != nil {
+		t.obs.BeginCycle()
 	}
 	// Reset per-cycle state BEFORE publishing the new generation: a
 	// worker that observes the new generation therefore also observes
 	// the reset counters (sequentially consistent atomics).
-	for i := range s.pending {
-		s.pending[i].Store(s.plan.Indegree[i])
+	for i := range t.pending {
+		t.pending[i].Store(t.plan.Indegree[i])
 	}
-	s.remaining.Store(int32(s.plan.Len()))
-	gen := s.gen.Add(1)
+	t.remaining.Store(int32(t.plan.Len()))
+	gen := t.gen.Add(1)
 	slot := &s.pool.slots[s.slot]
 	slot.state.Store(slotRunning)
 	s.pool.wakeIfIdle()
 
 	// Participate as the session's own worker until the cycle is done.
 	callerID := int32(s.pool.workers)
-	for s.remaining.Load() > 0 {
-		id, ok := s.claim(gen)
+	for t.remaining.Load() > 0 {
+		id, ok := s.claim(t, gen)
 		if !ok {
 			// Nothing claimable right now: pool workers hold the rest.
 			runtime.Gosched()
 			continue
 		}
-		s.runClaimed(id, callerID, gen)
+		s.runClaimed(t, id, callerID, gen)
 	}
 	slot.state.Store(slotIdle)
 	// Every node's Record happened before its remaining decrement, so at
 	// this point the observer has seen the whole realization.
-	if s.obs != nil {
-		s.obs.EndCycle()
+	if t.obs != nil {
+		t.obs.EndCycle()
 	}
 }
 
 // help lets pool worker w run one claimable node of this session.
-// It reports whether a node was executed.
+// It reports whether a node was executed. The topology bundle and its
+// generation are loaded together; a helper racing a swap works entirely
+// against the old epoch, whose frozen generation makes every claim CAS
+// fail (see PoolSession.topo).
 func (s *PoolSession) help(w int32) bool {
-	gen := s.gen.Load()
-	id, ok := s.claim(gen)
+	t := s.topo.Load()
+	gen := t.gen.Load()
+	id, ok := s.claim(t, gen)
 	if !ok {
 		return false
 	}
-	s.runClaimed(id, w, gen)
+	s.runClaimed(t, id, w, gen)
+	return true
+}
+
+// StageSwap implements Scheduler: stage a topology swap for this
+// session. Safe from any goroutine.
+func (s *PoolSession) StageSwap(sw Swap) error {
+	if s.closed.Load() || s.pool.closed.Load() {
+		return fmt.Errorf("sched: StageSwap after Close")
+	}
+	if sw.Plan == nil || sw.Plan.Len() == 0 {
+		return fmt.Errorf("sched: swap with empty plan")
+	}
+	s.staged.Store(&poolStaged{
+		sw: sw,
+		topo: &poolTopo{
+			plan:    sw.Plan,
+			pending: make([]atomic.Int32, sw.Plan.Len()),
+			claimed: make([]atomic.Uint64, sw.Plan.Len()),
+		},
+		faults: newFaultArrays(sw.Plan),
+	})
+	return nil
+}
+
+// AdoptStaged implements Scheduler: adopt the staged swap between two of
+// this session's cycles (no Execute in flight). Other sessions on the
+// pool are unaffected and may be mid-cycle.
+func (s *PoolSession) AdoptStaged() bool {
+	st := s.staged.Swap(nil)
+	if st == nil || s.closed.Load() {
+		return false
+	}
+	sw := st.sw
+	old := s.topo.Load()
+	gen := old.gen.Load()
+	t := st.topo
+	t.obs = old.obs
+	if sw.Observer != nil {
+		t.obs = sw.Observer
+	}
+	t.gen.Store(gen)
+	// Start the new epoch's claim stamps at the current generation:
+	// claimable only by generations > gen, i.e. the next cycle — never
+	// by a stale helper still holding gen. This must happen here, not at
+	// staging time, because gen advances between stage and adoption.
+	for i := range t.claimed {
+		t.claimed[i].Store(gen)
+	}
+	s.faultState.adoptInto(st.faults, sw.OldToNew)
+	s.topo.Store(t)
 	return true
 }
 
@@ -337,16 +431,16 @@ func (s *PoolSession) help(w int32) bool {
 // claims are impossible once the cycle that published them finished.
 // The scan walks RankOrder, so among ready nodes the claimant prefers
 // the one heading the most expensive remaining chain.
-func (s *PoolSession) claim(gen uint64) (int32, bool) {
-	for _, id := range s.plan.RankOrder {
-		old := s.claimed[id].Load()
+func (s *PoolSession) claim(t *poolTopo, gen uint64) (int32, bool) {
+	for _, id := range t.plan.RankOrder {
+		old := t.claimed[id].Load()
 		if old >= gen {
 			continue // already claimed this cycle (or claimant is stale)
 		}
-		if s.pending[id].Load() != 0 {
+		if t.pending[id].Load() != 0 {
 			continue // dependencies still running
 		}
-		if s.claimed[id].CompareAndSwap(old, gen) {
+		if t.claimed[id].CompareAndSwap(old, gen) {
 			return id, true
 		}
 	}
@@ -357,15 +451,15 @@ func (s *PoolSession) claim(gen uint64) (int32, bool) {
 // retires it from the cycle. The remaining decrement comes last so the
 // Execute caller cannot observe completion before the node's effects
 // (and successor releases) are published.
-func (s *PoolSession) runClaimed(id, w int32, gen uint64) {
-	s.exec(s.plan, s.obs, id, w, gen)
+func (s *PoolSession) runClaimed(t *poolTopo, id, w int32, gen uint64) {
+	s.exec(t.plan, t.obs, id, w, gen)
 	readied := false
-	for _, succ := range s.plan.SuccsOf(id) {
-		if s.pending[succ].Add(-1) == 0 {
+	for _, succ := range t.plan.SuccsOf(id) {
+		if t.pending[succ].Add(-1) == 0 {
 			readied = true
 		}
 	}
-	s.remaining.Add(-1)
+	t.remaining.Add(-1)
 	if readied {
 		s.pool.wakeIfIdle()
 	}

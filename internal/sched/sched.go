@@ -28,8 +28,9 @@ import (
 // the Execute caller after the iteration completes. Record must be cheap,
 // allocation-free and safe for concurrent calls from distinct workers
 // (one node is recorded by exactly one worker per cycle). An Observer is
-// fixed at construction through Options; there is deliberately no way to
-// swap it mid-run.
+// installed at construction through Options and replaced only by a
+// topology swap carrying a new one (Swap.Observer), which takes effect
+// atomically between two cycles.
 type Observer interface {
 	// BeginCycle marks the start of an iteration (Execute caller thread).
 	BeginCycle()
@@ -107,6 +108,16 @@ type Scheduler interface {
 	// Inflight returns 1 + the node worker w is currently executing, or
 	// 0 when the worker is idle (the stall watchdog's view).
 	Inflight(w int32) int32
+
+	// Live topology swaps (see swap.go). StageSwap stages a new compiled
+	// plan; it may be called from any goroutine and a later stage
+	// replaces an unadopted earlier one. AdoptStaged adopts the staged
+	// swap — workers, fault counters and remapped quarantine/shed state
+	// survive — and must be called from the Execute thread with no cycle
+	// in flight; Execute also adopts a staged swap at its top. It reports
+	// whether a swap was adopted.
+	StageSwap(sw Swap) error
+	AdoptStaged() bool
 }
 
 // Strategy names accepted by New.

@@ -1,6 +1,11 @@
 package sched
 
-import "djstar/internal/graph"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"djstar/internal/graph"
+)
 
 // Sequential executes the node queue in order on the calling thread —
 // DJ Star's original implementation ("single nodes can simply be removed
@@ -16,8 +21,16 @@ type Sequential struct {
 
 	plan   *graph.Plan
 	obs    Observer
+	staged atomic.Pointer[seqStaged]
 	gen    uint64
 	closed bool
+}
+
+// seqStaged is a staged swap plus the fault arrays adoption will
+// install, pre-sized at staging time.
+type seqStaged struct {
+	sw     Swap
+	faults *faultArrays
 }
 
 // NewSequential returns the sequential baseline executor. Only
@@ -32,10 +45,41 @@ func (s *Sequential) Name() string { return NameSequential }
 // Threads implements Scheduler.
 func (s *Sequential) Threads() int { return 1 }
 
+// StageSwap implements Scheduler.
+func (s *Sequential) StageSwap(sw Swap) error {
+	if s.closed {
+		return fmt.Errorf("sched: StageSwap after Close")
+	}
+	if err := sw.validate(1); err != nil {
+		return err
+	}
+	s.staged.Store(&seqStaged{sw: sw, faults: newFaultArrays(sw.Plan)})
+	return nil
+}
+
+// AdoptStaged implements Scheduler: adopt the staged swap, if any,
+// between cycles on the Execute thread.
+func (s *Sequential) AdoptStaged() bool {
+	st := s.staged.Swap(nil)
+	if st == nil || s.closed {
+		return false
+	}
+	sw := st.sw
+	s.faultState.adoptInto(st.faults, sw.OldToNew)
+	s.plan = sw.Plan
+	if sw.Observer != nil {
+		s.obs = sw.Observer
+	}
+	return true
+}
+
 // Execute implements Scheduler.
 func (s *Sequential) Execute() {
 	if s.closed {
 		panic("sched: Execute called after Close")
+	}
+	if s.staged.Load() != nil {
+		s.AdoptStaged()
 	}
 	if s.obs != nil {
 		s.obs.BeginCycle()

@@ -1,0 +1,242 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"djstar/internal/graph"
+)
+
+// Topology swaps (live graph editing).
+//
+// A Scheduler's plan is not fixed for its lifetime: StageSwap stages a
+// new compiled plan, and AdoptStaged adopts it atomically between two
+// cycles. This generalizes the engine's old private re-fusion swap —
+// which rebuilt a whole scheduler — into a scheduler-level operation
+// every strategy and sched.Pool supports: the worker pool, its OS-thread
+// pinning, the fault counters and the quarantine/shed bits all survive
+// the swap; only the per-plan structures (node lists, dependency
+// counters, deques) are rebuilt.
+//
+// Protocol: StageSwap may be called from any goroutine at any time (it
+// only publishes a pointer; a second call replaces an unadopted stage).
+// AdoptStaged must be called from the Execute thread with no cycle in
+// flight — the same serialization every Scheduler already demands of
+// Execute itself. Execute also adopts any staged swap at its top, so a
+// standalone scheduler picks up swaps without extra plumbing; the engine
+// instead calls AdoptStaged explicitly so it can run state-migration
+// hooks at a known point between cycles.
+//
+// Every allocation adoption needs — fresh done stamps and pending
+// counters, the fault arrays of the new epoch, and the policy's per-plan
+// state (node lists, deques) — is performed at STAGING time, on the
+// staging goroutine, off the audio path. The adopting cycle boundary
+// only installs the prebuilt structures and copies surviving per-node
+// state, keeping the swap-boundary cycle close to steady-state cost.
+
+// Swap describes a staged topology change.
+type Swap struct {
+	// Plan is the new compiled plan to adopt. Required.
+	Plan *graph.Plan
+	// OldToNew maps the current plan's BASE node IDs to the new plan's
+	// (-1 = node removed); quarantine/shed/fault state follows it. A nil
+	// map means the base topology is unchanged (e.g. a re-fusion of the
+	// same graph) and per-node state is carried by identity.
+	OldToNew []int32
+	// Observer, when non-nil, replaces the scheduler's observer at
+	// adoption (a new topology usually means a new collector sized for
+	// it). Nil keeps the current observer.
+	Observer Observer
+}
+
+func (sw Swap) validate(threads int) error {
+	if sw.Plan == nil || sw.Plan.Len() == 0 {
+		return fmt.Errorf("sched: swap with empty plan")
+	}
+	if threads > sw.Plan.Len() {
+		return fmt.Errorf("sched: %d workers exceed new plan's %d nodes",
+			threads, sw.Plan.Len())
+	}
+	return nil
+}
+
+// stagedSwap bundles a validated Swap with everything its adoption would
+// otherwise allocate. It is built by StageSwap on the staging goroutine;
+// the atomic staged-pointer publication makes every write here visible
+// to the adopting thread.
+type stagedSwap struct {
+	sw Swap
+	// pre is the policy's prestaged per-plan state (see policy.prestage).
+	pre any
+	// done and pending are fresh per-node arrays for the new plan. Fresh
+	// stamps read as generation 0 — stale for every future cycle, exactly
+	// like a freshly built core's.
+	done    []doneStamp
+	pending []depCount
+	// faults is a pre-sized fault-array set for the new plan; adoption
+	// copies the surviving quarantine/shed/fault state into it through
+	// the remap (see faultState.adoptInto).
+	faults *faultArrays
+}
+
+// StageSwap implements Scheduler for all core-based strategies.
+func (c *core) StageSwap(sw Swap) error {
+	if c.closed.Load() {
+		return fmt.Errorf("sched: StageSwap after Close")
+	}
+	if err := sw.validate(c.threads); err != nil {
+		return err
+	}
+	c.staged.Store(&stagedSwap{
+		sw:      sw,
+		pre:     c.pol.prestage(sw.Plan, c.threads),
+		done:    make([]doneStamp, sw.Plan.Len()),
+		pending: make([]depCount, sw.Plan.Len()),
+		faults:  newFaultArrays(sw.Plan),
+	})
+	return nil
+}
+
+// AdoptStaged implements Scheduler for all core-based strategies: it
+// adopts the most recently staged swap, if any, and reports whether one
+// was adopted. Must be called from the Execute thread between cycles;
+// workers are parked or spinning on the generation counter then, and the
+// atomic cycle dispatch publishes every plain write made here.
+func (c *core) AdoptStaged() bool {
+	st := c.staged.Swap(nil)
+	if st == nil || c.closed.Load() {
+		return false
+	}
+	sw := st.sw
+	c.faultState.adoptInto(st.faults, sw.OldToNew)
+	c.plan = sw.Plan
+	if sw.Observer != nil {
+		c.obs = sw.Observer
+	}
+	c.done = st.done
+	c.pending = st.pending
+	c.pol.replan(c, st.pre)
+	return true
+}
+
+// Policy prestage/replan pairs: prestage builds the per-plan strategy
+// state on the staging goroutine (immutable inputs only); replan
+// installs it on the adoption thread between cycles, rebuilding inline
+// when no prestaged state is available (defensive fallback — StageSwap
+// always provides one).
+
+// prestage for the list-spinning strategies (BUSY and STATIC) re-deals
+// the new plan's rank order round-robin. For STATIC this means an
+// offline schedule does not survive a topology edit — the old assignment
+// names nodes that no longer exist — so the strategy degrades to
+// BusyWait's dealing until a new schedule is installed via a subsequent
+// swap.
+func (pol *listSpinPolicy) prestage(p *graph.Plan, threads int) any {
+	return roundRobinLists(p, threads)
+}
+
+func (pol *listSpinPolicy) replan(c *core, pre any) {
+	if lists, ok := pre.([][]int32); ok {
+		pol.lists = lists
+		return
+	}
+	pol.lists = roundRobinLists(c.plan, c.threads)
+}
+
+// sleepPre is the prestaged per-plan state of SLEEP: fresh lists and
+// zeroed executor registrations (stale registrations would name nodes of
+// the old epoch).
+type sleepPre struct {
+	lists    [][]int32
+	executor []atomic.Int32
+}
+
+func (pol *sleepPolicy) prestage(p *graph.Plan, threads int) any {
+	return &sleepPre{
+		lists:    roundRobinLists(p, threads),
+		executor: make([]atomic.Int32, p.Len()),
+	}
+}
+
+func (pol *sleepPolicy) replan(c *core, pre any) {
+	if sp, ok := pre.(*sleepPre); ok {
+		pol.lists = sp.lists
+		pol.executor = sp.executor
+		return
+	}
+	pol.lists = roundRobinLists(c.plan, c.threads)
+	if len(pol.executor) != c.plan.Len() {
+		pol.executor = make([]atomic.Int32, c.plan.Len())
+		return
+	}
+	for i := range pol.executor {
+		pol.executor[i].Store(0)
+	}
+}
+
+// sleepScanPre extends sleepPre with fresh ran rows matching the new
+// list lengths.
+type sleepScanPre struct {
+	sleep *sleepPre
+	ran   [][]bool
+}
+
+func (pol *sleepScanPolicy) prestage(p *graph.Plan, threads int) any {
+	sp := pol.sleepPolicy.prestage(p, threads).(*sleepPre)
+	ran := make([][]bool, threads)
+	for w := range ran {
+		ran[w] = make([]bool, len(sp.lists[w]))
+	}
+	return &sleepScanPre{sleep: sp, ran: ran}
+}
+
+func (pol *sleepScanPolicy) replan(c *core, pre any) {
+	if ssp, ok := pre.(*sleepScanPre); ok {
+		pol.sleepPolicy.replan(c, ssp.sleep)
+		pol.ran = ssp.ran
+		return
+	}
+	pol.sleepPolicy.replan(c, nil)
+	for w := range pol.ran {
+		pol.ran[w] = make([]bool, len(pol.lists[w]))
+	}
+}
+
+// wsPre is the prestaged per-plan state of WS: fresh plan-sized deques
+// and the per-worker source seed lists. Deques are empty between cycles,
+// so dropping the old ones at adoption loses nothing.
+type wsPre struct {
+	deques  []dequeIface
+	initial [][]int32
+}
+
+func (pol *wsPolicy) prestage(p *graph.Plan, threads int) any {
+	deques := make([]dequeIface, threads)
+	for w := range deques {
+		if pol.opts.LockedDeque {
+			deques[w] = NewLockedDeque(p.Len() + 1)
+		} else {
+			deques[w] = NewDeque(p.Len() + 1)
+		}
+	}
+	return &wsPre{
+		deques:  deques,
+		initial: initialSources(p, threads, pol.opts.RoundRobinInit),
+	}
+}
+
+func (pol *wsPolicy) replan(c *core, pre any) {
+	if wp, ok := pre.(*wsPre); ok {
+		pol.deques = wp.deques
+		pol.initial = wp.initial
+		return
+	}
+	for w := 0; w < pol.threads; w++ {
+		if pol.opts.LockedDeque {
+			pol.deques[w] = NewLockedDeque(c.plan.Len() + 1)
+		} else {
+			pol.deques[w] = NewDeque(c.plan.Len() + 1)
+		}
+	}
+	pol.initial = initialSources(c.plan, pol.threads, pol.opts.RoundRobinInit)
+}

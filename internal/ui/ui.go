@@ -39,6 +39,7 @@ type Model struct {
 	faults    int    // fault events seen
 	lastFault string // most recent faulted node
 	degrade   string // most recent governor transition "from→to"
+	topology  string // most recent live graph edit outcome
 
 	// Gantt panel state: the latest sampled schedule realization.
 	trace    middleware.ScheduleTrace
@@ -85,6 +86,12 @@ func (m *Model) Apply(ev middleware.Event) {
 	case middleware.ScheduleTrace:
 		m.trace = p
 		m.hasTrace = true
+	case middleware.TopologyEvent:
+		if p.Applied {
+			m.topology = fmt.Sprintf("repatched %s (%d nodes)", p.Desc, p.Nodes)
+		} else {
+			m.topology = "repatch rolled back: " + p.Desc
+		}
 	default:
 		if ev.Topic == middleware.TopicControl {
 			m.ctrl = fmt.Sprint(ev.Payload)
@@ -204,6 +211,12 @@ func (m *Model) healthLine() string {
 	}
 	if m.degrade != "" {
 		parts = append(parts, m.degrade)
+	}
+	if m.hasHealth && m.health.PlanEpoch > 0 {
+		parts = append(parts, fmt.Sprintf("epoch %d", m.health.PlanEpoch))
+	}
+	if m.topology != "" {
+		parts = append(parts, m.topology)
 	}
 	if m.faults > 0 {
 		parts = append(parts, fmt.Sprintf("faults %d (last %s)", m.faults, m.lastFault))
