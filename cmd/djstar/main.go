@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"djstar/internal/admission"
 	"djstar/internal/audio"
 	"djstar/internal/engine"
 	"djstar/internal/exp"
@@ -61,6 +62,7 @@ func main() {
 		fuse     = flag.Bool("fuse", false, "compile the execution plan with cost-guided chain fusion (DESIGN.md §13)")
 		script   = flag.String("script", "", `timed live graph edits: a file of "@<cycle> <patch>" lines, e.g. "@500 insert-delay:A:2" (see DESIGN.md §14)`)
 		repl     = flag.Bool("repl", false, "read live patch specs from stdin, one per line (insert-delay:A:2, remove-delay:A, drop-node:<name>)")
+		admit    = flag.Bool("admission", false, "deadline-aware admission gate: refuse or degrade sessions and edits whose analytical bound exceeds the packet period (DESIGN.md §15)")
 	)
 	flag.Parse()
 
@@ -110,6 +112,11 @@ func main() {
 		// Keep a deeper ring so the export holds a representative spread
 		// of sampled cycles, not just the last handful.
 		cfg.Obs.TraceRing = 64
+	}
+	if *admit {
+		cfg.Admission.Enabled = true
+		// The envelope scales with the node costs, like the load does.
+		cfg.Admission.Config.PeriodUS = admission.DefaultPeriodUS * *scale
 	}
 
 	// Multi-session mode: N full sessions share one worker pool; the
@@ -276,8 +283,14 @@ func main() {
 
 	fmt.Printf("DJ Star reproduction — %s scheduler, %d threads, %d cycles (%s)\n",
 		e.Scheduler().Name(), *threads, totalCycles, *duration)
-	fmt.Printf("packet: %d samples @ %d Hz, deadline %.3f ms\n\n",
+	fmt.Printf("packet: %d samples @ %d Hz, deadline %.3f ms\n",
 		audio.PacketSize, audio.SampleRate, engine.DeadlineMS)
+	if st := e.AdmissionState(); st != nil && st.Enabled && st.Report != nil {
+		fmt.Printf("admission: %s — bound %.0f µs vs envelope %.0f µs (%s costs, headroom %.0f µs)\n",
+			st.Verdict, st.Report.BoundUS, st.Report.EnvelopeUS,
+			st.Report.Source, st.Report.HeadroomUS)
+	}
+	fmt.Println()
 
 	// Launch the background sessions' paced cycle loops.
 	if multi != nil {

@@ -1,0 +1,141 @@
+// Shared-pool aggregate admission: when several sessions multiplex one
+// worker pool, each session's bound must account for the others'
+// work competing for the same m workers.
+package admission
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Controller tracks the sessions attached to one shared worker pool and
+// admits a new one only when every session's aggregate response-time
+// bound — its own critical path plus its share of everyone's remaining
+// work — still fits the envelope.
+//
+// For session j on a pool of m workers shared with sessions k≠j, the
+// work-conserving bound generalizes Graham's argument: along j's
+// critical path, any instant where j is not progressing has all m
+// workers busy on surplus work, of which there is at most
+// (W_j − CP_j) + Σ_{k≠j} W_k. Hence
+//
+//	R_j ≤ margin × (Base_j + CP_j + (W_j − CP_j + Σ_{k≠j} W_k)/m)
+//
+// and admission requires R_j ≤ period for ALL sessions including the
+// candidate — an existing session can be the one pushed over budget by
+// a newcomer, and that too is a refusal.
+type Controller struct {
+	mu       sync.Mutex
+	cfg      Config
+	workers  int
+	sessions map[string]*sessionLoad
+}
+
+type sessionLoad struct {
+	workUS float64
+	cpUS   float64
+	baseUS float64
+}
+
+// SessionBound is one session's aggregate analysis inside the pool.
+type SessionBound struct {
+	ID      string  `json:"id"`
+	BoundUS float64 `json:"bound_us"`
+	Fits    bool    `json:"fits"`
+}
+
+// NewController builds a controller for a pool exposing `workers`
+// effective workers (sched.Pool.Workers()+1: attached clients lend
+// their Execute goroutine).
+func NewController(workers int, cfg Config) *Controller {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Controller{
+		cfg:      cfg.withDefaults(),
+		workers:  workers,
+		sessions: make(map[string]*sessionLoad),
+	}
+}
+
+// Workers returns the effective parallelism the controller assumes.
+func (c *Controller) Workers() int { return c.workers }
+
+// TryAdmit checks whether adding a session with the given per-session
+// report keeps every attached session (and the candidate) within the
+// envelope, and registers it if so. The returned error wraps
+// ErrOverBudget on refusal and names the first session pushed over.
+func (c *Controller) TryAdmit(id string, rep *Report) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sessions[id]; ok {
+		return fmt.Errorf("admission: session %q already admitted", id)
+	}
+	cand := &sessionLoad{workUS: rep.TotalWorkUS, cpUS: rep.CritPathUS, baseUS: rep.BaseUS}
+	bounds := c.boundsLocked(id, cand)
+	for _, b := range bounds {
+		if !b.Fits {
+			return fmt.Errorf("admission: pool of %d workers cannot fit session %q (session %q bound %.0f µs > envelope %.0f µs with %d sessions): %w",
+				c.workers, id, b.ID, b.BoundUS, c.cfg.PeriodUS, len(bounds), ErrOverBudget)
+		}
+	}
+	c.sessions[id] = cand
+	return nil
+}
+
+// Update replaces a session's registered load (after an adopted edit or
+// a cost-model refresh) without re-gating it; the predictive monitor is
+// responsible for flagging an over-budget aggregate.
+func (c *Controller) Update(id string, rep *Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sessions[id]; ok {
+		c.sessions[id] = &sessionLoad{workUS: rep.TotalWorkUS, cpUS: rep.CritPathUS, baseUS: rep.BaseUS}
+	}
+}
+
+// Release removes a session (engine Close, failed construction).
+func (c *Controller) Release(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.sessions, id)
+}
+
+// Sessions returns the aggregate bound of every registered session,
+// sorted by ID.
+func (c *Controller) Sessions() []SessionBound {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.boundsLocked("", nil)
+}
+
+// boundsLocked computes every session's aggregate bound with an
+// optional extra candidate mixed in. Caller holds c.mu.
+func (c *Controller) boundsLocked(candID string, cand *sessionLoad) []SessionBound {
+	total := 0.0
+	for _, s := range c.sessions {
+		total += s.workUS
+	}
+	if cand != nil {
+		total += cand.workUS
+	}
+	m := float64(c.workers)
+	bound := func(id string, s *sessionLoad) SessionBound {
+		surplus := total - s.cpUS // W_j − CP_j plus all other sessions' work
+		if surplus < 0 {
+			surplus = 0
+		}
+		b := c.cfg.Margin * (s.baseUS + s.cpUS + surplus/m)
+		return SessionBound{ID: id, BoundUS: b, Fits: b <= c.cfg.PeriodUS}
+	}
+	out := make([]SessionBound, 0, len(c.sessions)+1)
+	for id, s := range c.sessions {
+		out = append(out, bound(id, s))
+	}
+	if cand != nil {
+		out = append(out, bound(candID, cand))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -106,6 +106,23 @@ func New(cfg Config) (*App, error) {
 			userHooks.OnTopology(tc)
 		}
 	}
+	ecfg.Hooks.OnAdmission = func(d engine.AdmissionDecision) {
+		// Fires from the admission gate (construction goroutine, the
+		// editor, or the predictive monitor) — including for refusals,
+		// where the event lands on the bus before engine.New errors out.
+		bus.Publish(middleware.TopicAdmission, middleware.AdmissionEvent{
+			Cycle:      d.Cycle,
+			Verdict:    d.Verdict,
+			Reason:     d.Reason,
+			BoundUS:    d.BoundUS,
+			EnvelopeUS: d.EnvelopeUS,
+			PreShed:    d.PreShed,
+			Predicted:  d.Predicted,
+		})
+		if userHooks.OnAdmission != nil {
+			userHooks.OnAdmission(d)
+		}
+	}
 	ecfg.Hooks.OnTrace = func(t *obs.CycleTrace) {
 		// Fires on the cycle thread every sampled cycle. The engine's
 		// trace buffers are reused, so copy into a fresh ScheduleTrace —
@@ -273,6 +290,13 @@ func (a *App) Cycle(m *engine.Metrics) {
 			rep.SLOBudgetRemaining = snap.SLO.BudgetRemaining
 			rep.SLOBurnRate1m = snap.SLO.BurnRate1m
 			rep.SLOExhausted = snap.SLO.Exhausted
+		}
+		if adm := snap.Admission; adm != nil {
+			rep.AdmissionVerdict = adm.Verdict
+			if adm.Report != nil {
+				rep.AdmissionBoundUS = adm.Report.BoundUS
+				rep.AdmissionHeadroomUS = adm.Report.HeadroomUS
+			}
 		}
 		a.Bus.Publish(middleware.TopicHealth, rep)
 	}

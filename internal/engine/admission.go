@@ -1,0 +1,436 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"djstar/internal/admission"
+	"djstar/internal/graph"
+	"djstar/internal/rescon"
+	"djstar/internal/sched"
+)
+
+// Admission control: the engine's front door. Before a session commits
+// scheduler resources, before a staged edit is adopted, and
+// periodically against the live cost model, the analytical
+// schedulability bound of internal/admission is held against the packet
+// period — refusing, pre-degrading or predictively shedding work whose
+// bound does not fit, instead of discovering the overload as deadline
+// misses. All analysis runs off-cycle (construction, the editor's
+// goroutine, the monitor goroutine); the audio hot path is untouched.
+
+// ErrUnschedulableEdit is the sentinel wrapped by ApplyEdits /
+// ApplyPatch when the staged plan's analytical bound exceeds the
+// deadline envelope: the edit is rejected before the swap is staged and
+// the live topology keeps playing. Distinguish with errors.Is.
+var ErrUnschedulableEdit = errors.New("engine: edit makes the plan unschedulable")
+
+// AdmissionOptions configure the engine's admission gate.
+type AdmissionOptions struct {
+	// Enabled turns the gate on: engine.New refuses or pre-degrades
+	// sessions whose bound exceeds the envelope, ApplyEdits rejects
+	// unschedulable edits, and the predictive monitor feeds the governor.
+	Enabled bool
+	// Config parameterizes the analysis (zero value: 2.902 ms envelope,
+	// 1.25 margin, default overheads; BaseUS is filled from the engine's
+	// TP/GP/VC targets at the running scale when zero).
+	Config admission.Config
+	// Controller, when set, gates this session against the aggregate
+	// bound of every session sharing one worker pool (NewMulti wires a
+	// shared controller automatically). Nil means per-session analysis
+	// only.
+	Controller *admission.Controller
+	// PredictEvery is the predictive monitor's re-analysis period
+	// (default 250 ms; negative disables the monitor, keeping only the
+	// construction- and edit-time gates).
+	PredictEvery time.Duration
+}
+
+// AdmissionState is the engine's published admission status, exposed
+// through Snapshot (schema v3) and /api/admission.
+type AdmissionState struct {
+	// Enabled mirrors AdmissionOptions.Enabled.
+	Enabled bool `json:"enabled"`
+	// Verdict is the construction-time decision ("admit" or "degraded";
+	// refusals never construct an engine).
+	Verdict string `json:"verdict"`
+	// Reason is the human-readable summary of that decision.
+	Reason string `json:"reason"`
+	// PreShed names the rung of an admit-degraded session ("" if none).
+	PreShed string `json:"pre_shed,omitempty"`
+	// Report is the most recent analysis: the construction-time static
+	// one until the monitor's first live refresh, then measured-cost.
+	Report *admission.Report `json:"report,omitempty"`
+	// OverBudget is true while the latest recomputed bound exceeds the
+	// envelope (the predictive overload flag).
+	OverBudget bool `json:"over_budget"`
+	// PredictiveEscalations counts governor escalations taken on the
+	// predictive rung (bound blown before misses).
+	PredictiveEscalations int64 `json:"predictive_escalations"`
+}
+
+// admissionSeq disambiguates controller session IDs when the caller
+// did not label the session.
+var admissionSeq atomic.Uint64
+
+// effectiveProcs clamps a worker count to the machine's processor
+// count. Graham's argument (and the dedicated-processor simulations)
+// count processors, not workers: on a machine with fewer cores than
+// configured workers the excess time-slice, so the bound is computed at
+// the parallelism the hardware actually delivers.
+func effectiveProcs(workers int) int {
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		return p
+	}
+	return workers
+}
+
+// admissionRuntime is the per-engine admission state: the resolved
+// analysis config, the construction decision, the optional shared-pool
+// controller registration, and the predictive monitor.
+type admissionRuntime struct {
+	cfg      admission.Config
+	strategy string
+	threads  int
+	scale    float64
+
+	decision *admission.Decision
+	ctl      *admission.Controller
+	ctlID    string
+
+	state      atomic.Pointer[AdmissionState]
+	overBudget atomic.Bool
+
+	every time.Duration
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// admissionStaticCosts is the static per-node cost table at the
+// engine's execution scale: the design-cost table (paper µs) scaled the
+// same way graph.NewLoad scales the kernels. Used whenever the live
+// collector has no measurements yet.
+func admissionStaticCosts(p *graph.Plan, scale float64) []float64 {
+	out := rescon.PaperCostsUS(p)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// newAdmissionRuntime resolves the gate's config and decides admission
+// for a session about to be constructed: per-session ladder first, then
+// the shared pool's aggregate bound. A refusal returns an error
+// wrapping admission.ErrOverBudget (after firing Hooks.OnAdmission);
+// nothing is registered on the controller in that case.
+func newAdmissionRuntime(cfg *Config, plan *graph.Plan, threads int) (*admissionRuntime, error) {
+	strategy := cfg.Strategy
+	effThreads := threads
+	if cfg.Pool != nil {
+		strategy = sched.NamePool
+		effThreads = cfg.Pool.Workers() + 1
+	}
+	effThreads = effectiveProcs(effThreads)
+	acfg := cfg.Admission.Config
+	if acfg.BaseUS == 0 {
+		// Non-graph APC work at the running scale: the TP/GP/VC targets.
+		acfg.BaseUS = (targetTPUS + targetGPUS + targetVCUS) * cfg.Graph.Scale
+	}
+	a := &admissionRuntime{
+		cfg:      acfg,
+		strategy: strategy,
+		threads:  effThreads,
+		scale:    cfg.Graph.Scale,
+		ctl:      cfg.Admission.Controller,
+		every:    cfg.Admission.PredictEvery,
+	}
+	if a.every == 0 {
+		a.every = 250 * time.Millisecond
+	}
+
+	costs := admissionStaticCosts(plan, cfg.Graph.Scale)
+	d, err := admission.Decide(plan, costs, strategy, effThreads, "static", acfg)
+	if err != nil {
+		return nil, err
+	}
+	a.decision = d
+	notify := func(verdict string) {
+		if cfg.Hooks.OnAdmission != nil {
+			cfg.Hooks.OnAdmission(AdmissionDecision{
+				Verdict:    verdict,
+				Reason:     d.Reason,
+				BoundUS:    d.Admitted.BoundUS,
+				EnvelopeUS: d.Admitted.EnvelopeUS,
+				PreShed:    d.PreShed(),
+			})
+		}
+	}
+	if d.Verdict == admission.VerdictRefuse {
+		notify("refuse")
+		return nil, fmt.Errorf("engine: session refused: %s: %w", d.Reason, admission.ErrOverBudget)
+	}
+	if a.ctl != nil {
+		a.ctlID = cfg.Telemetry.Session
+		if a.ctlID == "" {
+			a.ctlID = fmt.Sprintf("s%d", admissionSeq.Add(1))
+		}
+		if err := a.ctl.TryAdmit(a.ctlID, d.Admitted); err != nil {
+			d.Reason = err.Error()
+			notify("refuse")
+			return nil, fmt.Errorf("engine: session refused: %w", err)
+		}
+	}
+	notify(d.Verdict.String())
+	return a, nil
+}
+
+// install finishes the gate on a constructed engine: applies the
+// admit-degraded pre-shed (through the governor when present, so level
+// and shed bits stay consistent), publishes the initial state, seeds
+// the telemetry gauges, and starts the predictive monitor.
+func (a *admissionRuntime) install(e *Engine) {
+	if a.decision.Verdict == admission.VerdictDegraded {
+		level := GovDegraded1
+		if a.decision.ShedFX {
+			level = GovDegraded2
+		}
+		if e.gov != nil {
+			e.gov.force(level)
+		} else {
+			t := e.topo.Load()
+			shedKinds(e.sched, t.plan, a.decision.ShedUI, a.decision.ShedFX)
+		}
+	}
+	st := &AdmissionState{
+		Enabled: true,
+		Verdict: a.decision.Verdict.String(),
+		Reason:  a.decision.Reason,
+		PreShed: a.decision.PreShed(),
+		Report:  a.decision.Admitted,
+	}
+	a.state.Store(st)
+	if e.tel != nil {
+		e.tel.SetAdmissionBound(st.Report.BoundUS, st.Report.HeadroomUS)
+		if a.decision.Verdict == admission.VerdictDegraded {
+			e.tel.RecordAdmissionDegrade()
+		}
+	}
+	if e.flight != nil {
+		e.flight.AddEvent(0, "admission", a.decision.Verdict.String()+": "+a.decision.Reason)
+	}
+	if a.every > 0 {
+		a.stop = make(chan struct{})
+		a.done = make(chan struct{})
+		go a.monitor(e)
+	}
+}
+
+// shedKinds applies the admit-degraded shed bits directly (governor
+// disabled): the same kind ladder the governor's applyShed uses.
+func shedKinds(s sched.Scheduler, p *graph.Plan, shedUI, shedFX bool) {
+	for i, k := range p.Kinds {
+		switch k {
+		case graph.KindMeter, graph.KindControl:
+			s.SetNodeShed(int32(i), shedUI)
+		case graph.KindFX:
+			s.SetNodeShed(int32(i), shedFX)
+		}
+	}
+}
+
+// close stops the monitor and releases the controller registration.
+func (a *admissionRuntime) close() {
+	if a.stop != nil {
+		close(a.stop)
+		<-a.done
+	}
+	if a.ctl != nil {
+		a.ctl.Release(a.ctlID)
+	}
+}
+
+// monitor is the predictive goroutine: every period it re-analyzes the
+// live topology under the collector's measured cost model (static costs
+// until one cycle has been observed) and arms the governor's predictive
+// rung while the recomputed bound exceeds the envelope. Never runs on
+// the audio path.
+func (a *admissionRuntime) monitor(e *Engine) {
+	defer close(a.done)
+	t := time.NewTicker(a.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.refresh(e)
+		}
+	}
+}
+
+// refresh recomputes the bound against the live topology and publishes
+// the result (state, telemetry gauges, controller load, predictive
+// flag). Exported to tests via Engine.RefreshAdmission.
+func (a *admissionRuntime) refresh(e *Engine) {
+	topo := e.topo.Load()
+	costs, source := a.liveCosts(topo)
+	rep, err := admission.Analyze(topo.plan, costs, a.strategy, a.threads, source, a.cfg)
+	if err != nil {
+		return
+	}
+	over := !rep.Fits()
+
+	prev := a.state.Load()
+	st := &AdmissionState{Enabled: true, Report: rep, OverBudget: over}
+	if prev != nil {
+		st.Verdict, st.Reason, st.PreShed = prev.Verdict, prev.Reason, prev.PreShed
+	}
+	if e.gov != nil {
+		st.PredictiveEscalations = e.gov.predictEscalates.Load()
+	}
+	a.state.Store(st)
+
+	if e.tel != nil {
+		e.tel.SetAdmissionBound(rep.BoundUS, rep.HeadroomUS)
+	}
+	if a.ctl != nil {
+		a.ctl.Update(a.ctlID, rep)
+	}
+	if over {
+		if e.gov != nil {
+			// Re-armed every over-budget refresh: one predictive
+			// escalation per governor window while the overload lasts.
+			e.gov.predicted.Store(true)
+		}
+		if a.overBudget.CompareAndSwap(false, true) {
+			// Rising edge: record the prediction once per excursion.
+			if e.flight != nil {
+				e.flight.AddEvent(e.cycleN.Load(), "admission-predict",
+					fmt.Sprintf("bound %.0f µs > envelope %.0f µs (%s costs)", rep.BoundUS, rep.EnvelopeUS, source))
+			}
+			if e.tel != nil {
+				e.tel.RecordPredictedOverload()
+			}
+			if e.cfg.Hooks.OnAdmission != nil {
+				e.cfg.Hooks.OnAdmission(AdmissionDecision{
+					Cycle:      e.cycleN.Load(),
+					Verdict:    "predict-overload",
+					Reason:     fmt.Sprintf("recomputed bound %.0f µs exceeds envelope %.0f µs (%s costs)", rep.BoundUS, rep.EnvelopeUS, source),
+					BoundUS:    rep.BoundUS,
+					EnvelopeUS: rep.EnvelopeUS,
+					Predicted:  true,
+				})
+			}
+		}
+	} else {
+		a.overBudget.Store(false)
+	}
+}
+
+// liveCosts returns the best available per-node cost table for the
+// given topology: the collector's measured means (real µs at the
+// running scale) overlaid on the static table, or the static table
+// alone before the first observed cycle.
+func (a *admissionRuntime) liveCosts(t *topology) ([]float64, string) {
+	out := admissionStaticCosts(t.plan, a.scale)
+	if t.col == nil {
+		return out, "static"
+	}
+	m, ok := t.col.CostModel()
+	if !ok {
+		return out, "static"
+	}
+	for i := range out {
+		if i < len(m) && m[i] > 0 {
+			out[i] = m[i]
+		}
+	}
+	return out, "measured"
+}
+
+// checkEdit analyzes a staged plan (the result of an edit) under the
+// engine's current degradation rung and returns an error wrapping
+// ErrUnschedulableEdit when its bound exceeds the envelope. Costs are
+// the measured means of surviving nodes through the remap, static for
+// fresh ones. Called with editMu held, never on the audio path.
+func (a *admissionRuntime) checkEdit(e *Engine, plan *graph.Plan, remap *graph.Remap) error {
+	costs := admissionStaticCosts(plan, a.scale)
+	live := e.topo.Load()
+	if live.col != nil {
+		if m, ok := live.col.CostModel(); ok {
+			for i := range costs {
+				if remap == nil {
+					if i < len(m) && m[i] > 0 {
+						costs[i] = m[i]
+					}
+				} else if i < len(remap.NewToOld) {
+					if old := remap.NewToOld[i]; old >= 0 && int(old) < len(m) && m[old] > 0 {
+						costs[i] = m[old]
+					}
+				}
+			}
+		}
+	}
+	// Judge the edit at the engine's current rung: a degraded session's
+	// meters are already shed, so they cost nothing — but an edit must
+	// fit WITHOUT help from deeper rungs it has not earned.
+	shedUI, shedFX := false, false
+	if e.gov != nil {
+		level := e.gov.Level()
+		shedUI = level >= GovDegraded1
+		shedFX = level >= GovDegraded2
+	} else if a.decision != nil {
+		shedUI, shedFX = a.decision.ShedUI, a.decision.ShedFX
+	}
+	rep, err := admission.Analyze(plan, admission.ShedCosts(plan, costs, shedUI, shedFX),
+		a.strategy, a.threads, "edit", a.cfg)
+	if err != nil {
+		return err
+	}
+	if rep.Fits() {
+		return nil
+	}
+	if e.tel != nil {
+		e.tel.RecordRefusedEdit()
+	}
+	if e.cfg.Hooks.OnAdmission != nil {
+		e.cfg.Hooks.OnAdmission(AdmissionDecision{
+			Cycle:      e.cycleN.Load(),
+			Verdict:    "edit-refused",
+			Reason:     fmt.Sprintf("staged plan bound %.0f µs exceeds envelope %.0f µs", rep.BoundUS, rep.EnvelopeUS),
+			BoundUS:    rep.BoundUS,
+			EnvelopeUS: rep.EnvelopeUS,
+		})
+	}
+	return fmt.Errorf("bound %.0f µs > envelope %.0f µs (%d nodes): %w",
+		rep.BoundUS, rep.EnvelopeUS, plan.Len(), ErrUnschedulableEdit)
+}
+
+// AdmissionState returns the engine's current admission status (nil
+// when the gate is disabled). Safe from any thread.
+func (e *Engine) AdmissionState() *AdmissionState {
+	if e.adm == nil {
+		return nil
+	}
+	st := e.adm.state.Load()
+	if st == nil {
+		return nil
+	}
+	cp := *st
+	if e.gov != nil {
+		cp.PredictiveEscalations = e.gov.predictEscalates.Load()
+	}
+	return &cp
+}
+
+// RefreshAdmission forces one predictive re-analysis immediately (the
+// monitor does this periodically). No-op when the gate is disabled.
+// Safe from any thread except the audio path.
+func (e *Engine) RefreshAdmission() {
+	if e.adm != nil {
+		e.adm.refresh(e)
+	}
+}

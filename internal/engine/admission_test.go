@@ -1,0 +1,400 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"djstar/internal/admission"
+	"djstar/internal/graph"
+	"djstar/internal/sched"
+)
+
+// freeCal makes spin bodies effectively free: one spin unit is declared
+// to take a full second, so any µs-scale cost target rounds to zero
+// units. Execution costs nothing while the admission math still sees
+// the full paper cost table at Scale — letting tests pin the gate's
+// analytical decisions without burning real CPU time.
+var freeCal = graph.Calibration{NanosPerUnit: 1e9}
+
+func admissionGraphConfig() graph.Config {
+	gc := graph.DefaultConfig()
+	gc.TrackBars = 2
+	gc.Scale = 1
+	gc.Calibration = freeCal
+	return gc
+}
+
+// staticReports computes the gate's own construction-time analysis for
+// a config: the full-plan report and the rung-1 (meters+control shed)
+// report, at the same effective processor count the engine will use.
+func staticReports(t *testing.T, gc graph.Config, strategy string, threads int, acfg admission.Config) (full, shed1 *admission.Report) {
+	t.Helper()
+	_, g, err := graph.BuildDJStar(gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := admissionStaticCosts(plan, gc.Scale)
+	procs := effectiveProcs(threads)
+	full, err = admission.Analyze(plan, costs, strategy, procs, "static", acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed1, err = admission.Analyze(plan, admission.ShedCosts(plan, costs, true, false),
+		strategy, procs, "static", acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full, shed1
+}
+
+// TestAdmissionRefusesOverBudgetSession: an envelope no rung can meet
+// refuses the session at construction — typed sentinel, no engine, and
+// the refusal still reaches the OnAdmission hook.
+func TestAdmissionRefusesOverBudgetSession(t *testing.T) {
+	var decisions []AdmissionDecision
+	cfg := fastConfig(sched.NameBusyWait, 4)
+	cfg.Graph = admissionGraphConfig()
+	cfg.Admission = AdmissionOptions{
+		Enabled: true,
+		Config:  admission.Config{PeriodUS: 1, Margin: 1, BaseUS: -1},
+	}
+	cfg.Hooks.OnAdmission = func(d AdmissionDecision) { decisions = append(decisions, d) }
+	e, err := New(cfg)
+	if err == nil {
+		e.Close()
+		t.Fatal("over-budget session admitted")
+	}
+	if !errors.Is(err, admission.ErrOverBudget) {
+		t.Fatalf("err = %v, want ErrOverBudget", err)
+	}
+	if len(decisions) != 1 || decisions[0].Verdict != "refuse" {
+		t.Fatalf("decisions = %+v, want one refusal", decisions)
+	}
+	if decisions[0].BoundUS <= decisions[0].EnvelopeUS {
+		t.Fatalf("refusal carries bound %v <= envelope %v", decisions[0].BoundUS, decisions[0].EnvelopeUS)
+	}
+}
+
+// TestAdmissionAdmitsWithinEnvelope: a roomy envelope admits cleanly;
+// the state is published through AdmissionState and Snapshot v3.
+func TestAdmissionAdmitsWithinEnvelope(t *testing.T) {
+	cfg := fastConfig(sched.NameBusyWait, 4)
+	cfg.Graph = admissionGraphConfig()
+	cfg.Admission = AdmissionOptions{
+		Enabled:      true,
+		Config:       admission.Config{PeriodUS: 1e9, Margin: 1, BaseUS: -1},
+		PredictEvery: -1,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	st := e.AdmissionState()
+	if st == nil || !st.Enabled || st.Verdict != "admit" || st.PreShed != "" {
+		t.Fatalf("state = %+v", st)
+	}
+	if st.Report == nil || !st.Report.Fits() || st.Report.Source != "static" {
+		t.Fatalf("report = %+v", st.Report)
+	}
+	e.RunCycles(5)
+	snap := e.Snapshot()
+	if snap.SchemaVersion != 3 || snap.Admission == nil || snap.Admission.Verdict != "admit" {
+		t.Fatalf("snapshot admission = %+v (schema %d)", snap.Admission, snap.SchemaVersion)
+	}
+	b, h := e.Telemetry().AdmissionBound()
+	if b != st.Report.BoundUS || h != st.Report.HeadroomUS {
+		t.Fatalf("telemetry gauges %v/%v, want %v/%v", b, h, st.Report.BoundUS, st.Report.HeadroomUS)
+	}
+}
+
+// TestAdmissionDegradedPreSheds: an envelope between the rung-1 bound
+// and the full bound admits the session degraded — the governor is
+// forced to degraded1 before the first cycle, meters and control
+// already shed.
+func TestAdmissionDegradedPreSheds(t *testing.T) {
+	acfg := admission.Config{Margin: 1, BaseUS: -1}
+	full, shed1 := staticReports(t, admissionGraphConfig(), sched.NameBusyWait, 4, acfg)
+	if shed1.BoundUS >= full.BoundUS {
+		t.Fatalf("shed bound %v not below full bound %v — no degradation window", shed1.BoundUS, full.BoundUS)
+	}
+	acfg.PeriodUS = (shed1.BoundUS + full.BoundUS) / 2
+
+	var decisions []AdmissionDecision
+	cfg := fastConfig(sched.NameBusyWait, 4)
+	cfg.Graph = admissionGraphConfig()
+	cfg.Governor.Enabled = true
+	cfg.Admission = AdmissionOptions{Enabled: true, Config: acfg, PredictEvery: -1}
+	cfg.Hooks.OnAdmission = func(d AdmissionDecision) { decisions = append(decisions, d) }
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	st := e.AdmissionState()
+	if st == nil || st.Verdict != "degraded" || st.PreShed != "meters+control" {
+		t.Fatalf("state = %+v", st)
+	}
+	if lvl := e.gov.Level(); lvl != GovDegraded1 {
+		t.Fatalf("governor at %v, want degraded1", lvl)
+	}
+	if len(decisions) != 1 || decisions[0].Verdict != "degraded" || decisions[0].PreShed != "meters+control" {
+		t.Fatalf("decisions = %+v", decisions)
+	}
+	if tot := e.Telemetry().Totals(); tot.AdmissionDegrades != 1 {
+		t.Fatalf("AdmissionDegrades = %d", tot.AdmissionDegrades)
+	}
+	e.RunCycles(5)
+}
+
+// TestAdmissionPoolAggregate: sessions on one shared pool are gated on
+// the AGGREGATE bound — the envelope that fits two sessions refuses the
+// third, with the typed sentinel, and the refused session leaves no
+// controller registration behind.
+func TestAdmissionPoolAggregate(t *testing.T) {
+	gc := admissionGraphConfig()
+	const workers = 1
+	acfg := admission.Config{Margin: 1, BaseUS: -1}
+	rep, _ := staticReports(t, gc, sched.NamePool, workers+1, acfg)
+	m := float64(effectiveProcs(workers + 1))
+	w, cp := rep.TotalWorkUS, rep.CritPathUS
+	// Controller bound for k identical sessions: CP + (k·W − CP)/m.
+	b2 := cp + (2*w-cp)/m
+	b3 := cp + (3*w-cp)/m
+	acfg.PeriodUS = (b2 + b3) / 2
+
+	cfg := Config{Graph: gc, Admission: AdmissionOptions{Enabled: true, Config: acfg, PredictEvery: -1}}
+	me, err := NewMulti(cfg, 2, workers)
+	if err != nil {
+		t.Fatalf("two sessions must fit (bound %.0f, envelope %.0f): %v", b2, acfg.PeriodUS, err)
+	}
+	defer me.Close()
+	if _, err := me.AddSession(); !errors.Is(err, admission.ErrOverBudget) {
+		t.Fatalf("third session err = %v, want ErrOverBudget", err)
+	}
+	if got := len(me.Controller().Sessions()); got != 2 {
+		t.Fatalf("controller holds %d sessions after refusal, want 2", got)
+	}
+	if got := len(me.Engines()); got != 2 {
+		t.Fatalf("%d engines, want 2", got)
+	}
+	for _, mm := range me.RunCyclesConcurrent(5) {
+		if mm.Cycles != 5 {
+			t.Fatalf("cycles = %d", mm.Cycles)
+		}
+	}
+	for _, sb := range me.Controller().Sessions() {
+		if !sb.Fits {
+			t.Fatalf("admitted session over budget: %+v", sb)
+		}
+	}
+}
+
+// TestAdmissionPoolFullSentinel: when the analysis fits but the pool's
+// slots are gone, AddSession surfaces sched.ErrPoolFull — and the
+// controller registration made before Attach is released again.
+func TestAdmissionPoolFullSentinel(t *testing.T) {
+	cfg := Config{
+		Graph: admissionGraphConfig(),
+		Admission: AdmissionOptions{
+			Enabled:      true,
+			Config:       admission.Config{PeriodUS: 1e9, Margin: 1, BaseUS: -1},
+			PredictEvery: -1,
+		},
+	}
+	me, err := NewMulti(cfg, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer me.Close()
+	if _, err := me.AddSession(); !errors.Is(err, sched.ErrPoolFull) {
+		t.Fatalf("err = %v, want ErrPoolFull", err)
+	}
+	if got := len(me.Controller().Sessions()); got != 2 {
+		t.Fatalf("controller holds %d sessions after failed attach, want 2", got)
+	}
+}
+
+// TestAdmissionRejectsUnschedulableEdit: an edit that would push the
+// staged plan's bound over the envelope is refused before the swap —
+// typed sentinel, epoch untouched, live topology keeps playing — while
+// a shrinking edit still lands.
+func TestAdmissionRejectsUnschedulableEdit(t *testing.T) {
+	acfg := admission.Config{Margin: 1, BaseUS: -1}
+	full, _ := staticReports(t, admissionGraphConfig(), sched.NameBusyWait, 4, acfg)
+	acfg.PeriodUS = full.BoundUS + 1 // fits, with no room for growth
+
+	var decisions []AdmissionDecision
+	cfg := fastConfig(sched.NameBusyWait, 4)
+	cfg.Graph = admissionGraphConfig()
+	cfg.Admission = AdmissionOptions{Enabled: true, Config: acfg, PredictEvery: -1}
+	cfg.Hooks.OnAdmission = func(d AdmissionDecision) { decisions = append(decisions, d) }
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// No cycles run: the edit is judged on static costs, like the
+	// construction decision it must stay consistent with.
+	base := e.Plan().Len()
+	err = e.ApplyPatch("insert-delay:A:8")
+	if !errors.Is(err, ErrUnschedulableEdit) {
+		t.Fatalf("err = %v, want ErrUnschedulableEdit", err)
+	}
+	// Refused synchronously: nothing staged, no cycle needed to confirm
+	// (and none run — the edit gate must judge on static costs, like the
+	// construction decision it stays consistent with).
+	if e.PlanEpoch() != 0 || e.Plan().Len() != base {
+		t.Fatalf("refused edit changed topology: epoch %d, %d nodes", e.PlanEpoch(), e.Plan().Len())
+	}
+	le := e.LastEdit()
+	if le == nil || le.Applied || le.Err == "" {
+		t.Fatalf("LastEdit = %+v", le)
+	}
+	if tot := e.Telemetry().Totals(); tot.RefusedEdits != 1 {
+		t.Fatalf("RefusedEdits = %d", tot.RefusedEdits)
+	}
+	found := false
+	for _, d := range decisions {
+		if d.Verdict == "edit-refused" && d.BoundUS > d.EnvelopeUS {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no edit-refused decision in %+v", decisions)
+	}
+
+	// Shedding work instead: fits, stages, adopts.
+	if err := e.ApplyPatch("drop-node:MeterA"); err != nil {
+		t.Fatalf("shrinking edit refused: %v", err)
+	}
+	e.Cycle(nil)
+	if e.PlanEpoch() != 1 || e.Plan().Len() != base-1 {
+		t.Fatalf("shrinking edit not adopted: epoch %d, %d nodes", e.PlanEpoch(), e.Plan().Len())
+	}
+	e.RunCycles(5)
+}
+
+var admCalOnce sync.Once
+var admCal graph.Calibration
+
+// TestAdmissionPredictiveEscalation: with real node costs, cranking the
+// load factor pushes the live cost model's recomputed bound over the
+// envelope — and the governor escalates on the predictive rung BEFORE
+// the reactive triggers (parked out of reach here) see a single miss.
+func TestAdmissionPredictiveEscalation(t *testing.T) {
+	admCalOnce.Do(func() { admCal = graph.Calibrate() })
+	gc := graph.DefaultConfig()
+	gc.TrackBars = 2
+	// Scale large enough that calibrated spin work dominates the fixed
+	// DSP cost even on instrumented builds (-race inflates DSP ~10×, but
+	// not calibrated spinning) — so the load factor moves the bound.
+	gc.Scale = 0.05
+	gc.Calibration = admCal
+
+	acfg := admission.Config{Margin: 1, BaseUS: -1}
+	// Calibrate the envelope from a probe engine's MEASURED bound at
+	// nominal load (the static table underestimates instrumented builds
+	// like -race): nominal fits ×3, a 100× load factor cannot.
+	probe, err := New(Config{Graph: gc, Strategy: sched.NameBusyWait, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.RunCycles(20)
+	nominal, err := admission.Analyze(probe.Plan(), probe.Collector().NodeMeansUS(),
+		sched.NameBusyWait, effectiveProcs(4), "measured", acfg)
+	probe.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg.PeriodUS = nominal.BoundUS * 3
+
+	cfg := Config{
+		Graph:    gc,
+		Strategy: sched.NameBusyWait,
+		Threads:  4,
+		Governor: GovernorConfig{
+			Enabled: true,
+			Window:  8,
+			// Park the reactive triggers out of reach: any escalation in
+			// this test is the predictive rung's.
+			DeadlineMS:    1e6,
+			GraphBudgetMS: 1e6,
+		},
+		Admission: AdmissionOptions{Enabled: true, Config: acfg, PredictEvery: -1},
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.RunCycles(10) // seed the live cost model at nominal load
+	e.RefreshAdmission()
+	if st := e.AdmissionState(); st.OverBudget {
+		t.Fatalf("over budget at nominal load: %+v", st.Report)
+	}
+
+	e.SetLoadFactor(100)
+	escalated := false
+	for i := 0; i < 60 && !escalated; i++ {
+		e.RunCycles(8) // lifetime means climb toward 100× nominal
+		e.RefreshAdmission()
+		e.RunCycles(8) // at least one full governor window after arming
+		escalated = e.gov.Level() >= GovDegraded1
+	}
+	if !escalated {
+		t.Fatal("governor never escalated on the predictive rung")
+	}
+	st := e.AdmissionState()
+	if !st.OverBudget {
+		t.Fatalf("escalated but not over budget: %+v", st.Report)
+	}
+	if st.PredictiveEscalations < 1 {
+		t.Fatalf("PredictiveEscalations = %d", st.PredictiveEscalations)
+	}
+	if tot := e.Telemetry().Totals(); tot.PredictedOverloads < 1 {
+		t.Fatalf("PredictedOverloads = %d", tot.PredictedOverloads)
+	}
+	if st.Report.Source != "measured" {
+		t.Fatalf("live report source = %q, want measured", st.Report.Source)
+	}
+}
+
+// TestAdmissionZeroAllocCycle: the gate must add ZERO allocations to
+// the audio hot path — all analysis runs off-cycle. Compared against an
+// identical engine with the gate disabled, not an absolute zero, so the
+// assertion survives unrelated baseline drift.
+func TestAdmissionZeroAllocCycle(t *testing.T) {
+	cycleAllocs := func(enabled bool) float64 {
+		cfg := Config{
+			Graph:    admissionGraphConfig(),
+			Strategy: sched.NameBusyWait,
+			Threads:  4,
+		}
+		if enabled {
+			cfg.Admission = AdmissionOptions{
+				Enabled:      true,
+				Config:       admission.Config{PeriodUS: 1e9},
+				PredictEvery: -1, // no monitor goroutine polluting the count
+			}
+		}
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		for i := 0; i < 20; i++ {
+			e.Cycle(nil)
+		}
+		return testing.AllocsPerRun(100, func() { e.Cycle(nil) })
+	}
+	off, on := cycleAllocs(false), cycleAllocs(true)
+	if on > off {
+		t.Fatalf("admission adds allocations to the hot path: %v/cycle with gate, %v without", on, off)
+	}
+}

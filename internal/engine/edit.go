@@ -119,6 +119,15 @@ func (e *Engine) applyEditsLocked(es *graph.EditSet, desc string) error {
 	if prev != nil && prev.remap != nil {
 		remap = prev.remap.Compose(remap)
 	}
+	if e.adm != nil {
+		// Admission re-check: the staged plan's analytical bound must
+		// still fit the envelope at the session's current degradation
+		// rung, or the edit is rejected here — before fusion, before the
+		// swap, with the live topology untouched (ErrUnschedulableEdit).
+		if err := e.adm.checkEdit(e, plan2, remap); err != nil {
+			return fail(err)
+		}
+	}
 	execPlan := plan2
 	if e.cfg.FusePlan {
 		execPlan, err = graph.Fuse(plan2, e.editCosts(remap, plan2), e.cfg.Fuse)
@@ -186,6 +195,12 @@ func (e *Engine) RecompileFused(costsUS []float64) error {
 		ops:   ops,
 		desc:  desc,
 	})
+	if e.adm != nil {
+		// A recompilation keeps the topology (and so the conservative
+		// base-plan bound); refresh the published analysis against the
+		// supplied costs rather than gating — flag, don't reject.
+		e.adm.refresh(e)
+	}
 	return nil
 }
 

@@ -91,6 +91,12 @@ type Config struct {
 	// under overload); see GovernorConfig.
 	Governor GovernorConfig
 
+	// Admission configures the schedulability gate (refuse / pre-degrade
+	// sessions and edits whose analytical bound exceeds the deadline
+	// envelope, predict overload from the live cost model); see
+	// AdmissionOptions. Off by default.
+	Admission AdmissionOptions
+
 	// Watchdog enables the stall watchdog: a monitor goroutine that
 	// detects a graph execution stuck past the hard wall and reports the
 	// offending node instead of letting the process hang silently.
@@ -215,6 +221,10 @@ type Engine struct {
 
 	gov *governor
 	wd  *watchdog
+	// adm is the admission gate's runtime (nil when disabled): the
+	// construction decision, the controller registration and the
+	// predictive monitor.
+	adm *admissionRuntime
 
 	// tel is the telemetry collector and flight its incident recorder
 	// (both nil when cfg.Telemetry.Disable).
@@ -296,6 +306,22 @@ func New(cfg Config) (*Engine, error) {
 		})
 		observer = collector
 	}
+	// Admission front door: hold the session's analytical schedulability
+	// bound (static design costs — nothing has run yet) against the
+	// deadline envelope BEFORE any scheduler resources are committed.
+	// Refusals return here wrapping admission.ErrOverBudget; an
+	// admit-degraded verdict is applied after the governor exists. The
+	// analysis runs on the unfused base plan: fusion preserves total
+	// work and only removes per-node dispatches, so the base-plan bound
+	// is conservative for the fused execution too.
+	var adm *admissionRuntime
+	if cfg.Admission.Enabled {
+		adm, err = newAdmissionRuntime(&cfg, plan, threads)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	opts := sched.Options{Threads: threads, Observer: observer}
 	var (
 		scheduler sched.Scheduler
@@ -319,6 +345,9 @@ func New(cfg Config) (*Engine, error) {
 	if err2 != nil {
 		if ownedPool != nil {
 			ownedPool.Close()
+		}
+		if adm != nil {
+			adm.close()
 		}
 		return nil, err2
 	}
@@ -371,6 +400,13 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.wd = newWatchdog(scheduler, plan,
 			time.Duration(wallMS*float64(time.Millisecond)), e.onStall)
+	}
+	if adm != nil {
+		// Apply the admit-degraded pre-shed (through the governor when
+		// present), publish the initial state and start the predictive
+		// monitor. After the governor so forced levels stay consistent.
+		e.adm = adm
+		adm.install(e)
 	}
 
 	// Timecode front end: one virtual turntable per deck, spinning at the
@@ -511,6 +547,9 @@ func (e *Engine) PlanEpoch() uint64 { return e.planEpoch.Load() }
 func (e *Engine) Close() {
 	if !e.closed.CompareAndSwap(false, true) {
 		return
+	}
+	if e.adm != nil {
+		e.adm.close()
 	}
 	if e.wd != nil {
 		e.wd.close()

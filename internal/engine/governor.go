@@ -63,6 +63,14 @@ type GovernorConfig struct {
 	// de-escalation by one level (default 4) — the hysteresis that stops
 	// the governor from oscillating at a load boundary.
 	CleanWindows int
+	// RecoverMissRate is the highest window miss rate that still counts
+	// toward the CleanWindows recovery streak (default 0: strictly
+	// miss-free). On hosts with ambient scheduling noise a stray OS
+	// preemption dirties an occasional window forever, making rate == 0
+	// unreachable and pinning the governor at a degraded level after the
+	// overload is gone; a small tolerance (well under EscalateMissRate)
+	// lets recovery distinguish noise from load.
+	RecoverMissRate float64
 	// CriticalFactor is the load-factor multiplier applied at GovCritical
 	// (default 0.5).
 	CriticalFactor float64
@@ -86,6 +94,9 @@ func (c GovernorConfig) withDefaults() GovernorConfig {
 	}
 	if c.CriticalFactor <= 0 || c.CriticalFactor >= 1 {
 		c.CriticalFactor = 0.5
+	}
+	if c.RecoverMissRate < 0 {
+		c.RecoverMissRate = 0
 	}
 	return c
 }
@@ -112,6 +123,15 @@ type governor struct {
 	lastP99     atomic.Uint64
 	escalates   atomic.Int64
 	deescalates atomic.Int64
+
+	// predicted is set by the admission monitor (another goroutine) when
+	// the live cost model pushes the recomputed schedulability bound over
+	// the envelope; the next window boundary escalates on it even with a
+	// clean miss record — degradation BEFORE the first audible miss.
+	// Swap(false) at the window boundary makes it one escalation per
+	// over-budget signal; the monitor re-arms it while the overload lasts.
+	predicted        atomic.Bool
+	predictEscalates atomic.Int64
 
 	// onChange, when set, is notified of level transitions (cycle thread).
 	onChange func(from, to GovLevel)
@@ -154,6 +174,7 @@ func (g *governor) observe(apcMS, graphMS float64) {
 	g.graphMS = g.graphMS[:0]
 
 	level := g.Level()
+	predicted := g.predicted.Swap(false)
 	switch {
 	case rate > g.cfg.EscalateMissRate || p99 > g.cfg.GraphBudgetMS:
 		g.clean = 0
@@ -161,7 +182,18 @@ func (g *governor) observe(apcMS, graphMS float64) {
 			g.transition(level, level+1)
 			g.escalates.Add(1)
 		}
-	case rate == 0:
+	case predicted:
+		// Predictive rung: the admission monitor's recomputed bound says
+		// the envelope will blow even though this window was clean. Shed
+		// ahead of the miss; the ordinary CleanWindows hysteresis recovers
+		// once the bound (and the misses it predicted) stay away.
+		g.clean = 0
+		if level < GovCritical {
+			g.transition(level, level+1)
+			g.escalates.Add(1)
+			g.predictEscalates.Add(1)
+		}
+	case rate <= g.cfg.RecoverMissRate:
 		g.clean++
 		if g.clean >= g.cfg.CleanWindows && level > GovNormal {
 			g.transition(level, level-1)
@@ -169,8 +201,9 @@ func (g *governor) observe(apcMS, graphMS float64) {
 			g.clean = 0
 		}
 	default:
-		// Some misses, but under the escalation threshold: hold the
-		// level and restart the clean streak.
+		// Some misses, above the recovery tolerance but under the
+		// escalation threshold: hold the level and restart the clean
+		// streak.
 		g.clean = 0
 	}
 }
@@ -203,6 +236,16 @@ func (g *governor) applyShed(level GovLevel) {
 		case graph.KindFX:
 			g.sched.SetNodeShed(int32(i), shedFX)
 		}
+	}
+}
+
+// force jumps the governor straight to a level (admission's
+// admit-degraded rung pre-sheds through it so the level, the shed bits
+// and the hysteresis state stay consistent). Construction time or cycle
+// thread only, like transition.
+func (g *governor) force(to GovLevel) {
+	if from := g.Level(); from != to {
+		g.transition(from, to)
 	}
 }
 

@@ -238,6 +238,39 @@ func TestGovernorPartialMissWindowResetsCleanStreak(t *testing.T) {
 	}
 }
 
+func TestGovernorRecoverMissRateToleratesNoise(t *testing.T) {
+	cfg := govTestConfig()
+	cfg.EscalateMissRate = 0.30 // 3+ misses of 8 escalate
+	cfg.RecoverMissRate = 0.125 // 1 miss of 8 still counts as clean
+	h := newGovHarness(t, cfg)
+	h.window(8) // -> degraded1
+
+	// Windows dirtied by a single miss (rate 0.125 <= tolerance) count
+	// toward the recovery streak exactly like miss-free ones.
+	h.window(1)
+	h.window(0)
+	h.window(1)
+	if got := h.g.Level(); got != GovNormal {
+		t.Fatalf("level after 3 within-tolerance windows = %v, want normal", got)
+	}
+
+	// Above the tolerance but under the escalation threshold: the level
+	// holds and the streak restarts, as before.
+	h.window(8) // -> degraded1
+	h.window(1)
+	h.window(1)
+	h.window(2) // rate 0.25: hold + reset
+	h.window(1)
+	h.window(1)
+	if got := h.g.Level(); got != GovDegraded1 {
+		t.Fatalf("level after broken streak = %v, want degraded1 (hysteresis)", got)
+	}
+	h.window(1)
+	if got := h.g.Level(); got != GovNormal {
+		t.Fatalf("level after fresh streak = %v, want normal", got)
+	}
+}
+
 func TestGovernorGraphBudgetP99Escalates(t *testing.T) {
 	cfg := govTestConfig()
 	cfg.GraphBudgetMS = 2.1

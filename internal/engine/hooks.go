@@ -33,6 +33,35 @@ type Hooks struct {
 	// edit (ApplyEdits / ApplyPatch / RecompileFused) is adopted — or
 	// refused and rolled back — at a cycle boundary.
 	OnTopology func(TopologyChange)
+	// OnAdmission is invoked for every admission decision: the
+	// construction-time gate (including refusals — the hook fires before
+	// New returns the error), edit-time schedulability rejections, and
+	// the predictive monitor's over-budget flags. Called from the
+	// admitting goroutine (construction, editor or monitor — never the
+	// audio path).
+	OnAdmission func(AdmissionDecision)
+}
+
+// AdmissionDecision is one admission-control outcome, delivered to
+// Hooks.OnAdmission.
+type AdmissionDecision struct {
+	// Cycle is the engine cycle at decision time (0 at construction).
+	Cycle uint64
+	// Verdict is "admit", "degraded", "refuse", "edit-refused" or
+	// "predict-overload".
+	Verdict string
+	// Reason is the human-readable summary of the analysis.
+	Reason string
+	// BoundUS is the analytical response-time bound of the decided
+	// configuration and EnvelopeUS the deadline it was held against (µs).
+	BoundUS    float64
+	EnvelopeUS float64
+	// PreShed names the degradation rung of an admit-degraded decision
+	// ("" when nothing was shed).
+	PreShed string
+	// Predicted is true for the monitor's over-budget flags (bound blown
+	// by live cost drift, before misses occur).
+	Predicted bool
 }
 
 // TopologyChange is one adoption decision on a staged topology edit,

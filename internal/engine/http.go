@@ -29,6 +29,7 @@ type DebugServer struct {
 //	/api/snapshot     – engine.Snapshot JSON (versioned)
 //	/api/critpath     – the measured critical path JSON
 //	/api/trace        – latest sampled cycles as Chrome trace JSON
+//	/api/admission    – schedulability gate status JSON (verdict, bound)
 //	/api/edit         – POST {"patch":"<spec>"}: stage a live graph edit
 //	/metrics          – telemetry in OpenMetrics/Prometheus text format
 //	/api/slo          – deadline-miss budget status JSON
@@ -65,6 +66,14 @@ func StartDebugServer(addr string, e *Engine) (*DebugServer, error) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = obs.WriteChromeTrace(w, t.plan, t.col.Traces())
+	})
+	mux.HandleFunc("/api/admission", func(w http.ResponseWriter, _ *http.Request) {
+		st := e.AdmissionState()
+		if st == nil {
+			http.Error(w, `{"error":"admission gate disabled"}`, http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, st)
 	})
 	mux.HandleFunc("/api/edit", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

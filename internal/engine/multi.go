@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"djstar/internal/admission"
 	"djstar/internal/sched"
 	"djstar/internal/telemetry"
 )
@@ -16,8 +17,17 @@ import (
 // execution workers are shared. Per-session cycle serialization is
 // preserved (each session is driven by exactly one goroutine), while
 // sessions execute concurrently over the pool.
+//
+// With cfg.Admission.Enabled, all sessions share one
+// admission.Controller sized for the pool: each AddSession (and each
+// construction-time session) is gated on the AGGREGATE bound — its own
+// critical path plus its share of every session's work on the shared
+// workers — and refused (admission.ErrOverBudget) when any session's
+// aggregate bound would leave the envelope.
 type MultiEngine struct {
+	cfg     Config
 	pool    *sched.Pool
+	ctl     *admission.Controller
 	engines []*Engine
 	closed  bool
 }
@@ -34,27 +44,60 @@ func NewMulti(cfg Config, sessions, workers int) (*MultiEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &MultiEngine{pool: pool}
-	for i := 0; i < sessions; i++ {
-		c := cfg
-		c.Pool = pool
-		c.Strategy = sched.NamePool
-		c.Telemetry.Session = fmt.Sprintf("%d", i)
-		if i > 0 {
-			c.DisableGC = false
+	m := &MultiEngine{cfg: cfg, pool: pool}
+	if cfg.Admission.Enabled {
+		m.ctl = cfg.Admission.Controller
+		if m.ctl == nil {
+			acfg := cfg.Admission.Config
+			if acfg.BaseUS == 0 {
+				acfg.BaseUS = (targetTPUS + targetGPUS + targetVCUS) * cfg.Graph.Scale
+			}
+			// Like the per-session gate, count processors, not workers:
+			// the hardware caps the pool's real parallelism.
+			m.ctl = admission.NewController(effectiveProcs(workers+1), acfg)
 		}
-		e, err := New(c)
-		if err != nil {
+	}
+	for i := 0; i < sessions; i++ {
+		if _, err := m.AddSession(); err != nil {
 			m.Close()
 			return nil, err
 		}
-		m.engines = append(m.engines, e)
 	}
 	return m, nil
 }
 
+// AddSession attaches one more session to the shared pool — the dynamic
+// growth path the admission gate exists for. With admission enabled the
+// session is held against the pool's aggregate bound first; the error
+// wraps admission.ErrOverBudget on an analytical refusal and
+// sched.ErrPoolFull when the pool's slots are exhausted.
+func (m *MultiEngine) AddSession() (*Engine, error) {
+	if m.closed {
+		return nil, fmt.Errorf("engine: AddSession after Close")
+	}
+	i := len(m.engines)
+	c := m.cfg
+	c.Pool = m.pool
+	c.Strategy = sched.NamePool
+	c.Telemetry.Session = fmt.Sprintf("%d", i)
+	c.Admission.Controller = m.ctl
+	if i > 0 {
+		c.DisableGC = false
+	}
+	e, err := New(c)
+	if err != nil {
+		return nil, err
+	}
+	m.engines = append(m.engines, e)
+	return e, nil
+}
+
 // Pool exposes the shared worker pool.
 func (m *MultiEngine) Pool() *sched.Pool { return m.pool }
+
+// Controller exposes the shared admission controller (nil when the
+// gate is disabled).
+func (m *MultiEngine) Controller() *admission.Controller { return m.ctl }
 
 // Engines exposes the per-session engines (e.g. for live control of one
 // session while others keep running).

@@ -15,7 +15,11 @@ import (
 // that ignore unknown fields still parse v2 payloads, but node IDs in
 // Nodes/CritPath are only stable within one PlanEpoch, which v1 could
 // assume process-stable — hence the bump. See DESIGN.md §14.
-const SnapshotSchemaVersion = 2
+//
+// v3 added Admission (the schedulability gate's verdict, analytical
+// bound and predictive-overload flag; nil when the gate is off). See
+// DESIGN.md §15.
+const SnapshotSchemaVersion = 3
 
 // Snapshot is the engine's unified point-in-time observability view:
 // whole-run cycle accounting, health/fault/degradation state, per-node
@@ -60,6 +64,11 @@ type Snapshot struct {
 	// SLO is the deadline-miss budget status (nil when telemetry is
 	// disabled).
 	SLO *telemetry.SLOStatus `json:"slo,omitempty"`
+
+	// Admission is the schedulability gate's status: verdict, analytical
+	// response-time bound vs envelope, predictive-overload flag (nil
+	// when the gate is disabled). Schema v3.
+	Admission *AdmissionState `json:"admission,omitempty"`
 
 	// Nodes are the collector's per-node timing stats (nil when the
 	// collector is disabled).
@@ -131,6 +140,7 @@ func (e *Engine) Snapshot() Snapshot {
 		slo := e.tel.SLO()
 		s.SLO = &slo
 	}
+	s.Admission = e.AdmissionState()
 	// Load the topology bundle once: plan and collector are guaranteed
 	// mutually consistent inside it, even mid-edit.
 	if t := e.topo.Load(); t.col != nil && t.col.Cycles() > 0 {

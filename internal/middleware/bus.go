@@ -195,17 +195,18 @@ func (b *Bus) SubscriberCount(topic string) int {
 
 // Standard topics published by the application facade.
 const (
-	TopicDeckPosition = "deck.position"   // payload DeckPosition
-	TopicMeterMaster  = "meter.master"    // payload MeterLevels
-	TopicMeterDeck    = "meter.deck"      // payload MeterLevels
-	TopicBeat         = "engine.beat"     // payload Beat
-	TopicDeadlineMiss = "engine.miss"     // payload DeadlineMiss
-	TopicControl      = "hw.control"      // payload hardware.ControlEvent
-	TopicHealth       = "engine.health"   // payload HealthReport
-	TopicFault        = "engine.fault"    // payload FaultEvent
-	TopicDegrade      = "engine.degrade"  // payload DegradeEvent
-	TopicTrace        = "engine.trace"    // payload ScheduleTrace
-	TopicTopology     = "engine.topology" // payload TopologyEvent
+	TopicDeckPosition = "deck.position"    // payload DeckPosition
+	TopicMeterMaster  = "meter.master"     // payload MeterLevels
+	TopicMeterDeck    = "meter.deck"       // payload MeterLevels
+	TopicBeat         = "engine.beat"      // payload Beat
+	TopicDeadlineMiss = "engine.miss"      // payload DeadlineMiss
+	TopicControl      = "hw.control"       // payload hardware.ControlEvent
+	TopicHealth       = "engine.health"    // payload HealthReport
+	TopicFault        = "engine.fault"     // payload FaultEvent
+	TopicDegrade      = "engine.degrade"   // payload DegradeEvent
+	TopicTrace        = "engine.trace"     // payload ScheduleTrace
+	TopicTopology     = "engine.topology"  // payload TopologyEvent
+	TopicAdmission    = "engine.admission" // payload AdmissionEvent
 )
 
 // DeckPosition reports a deck's playhead (UI waveform cursor).
@@ -280,6 +281,36 @@ type HealthReport struct {
 	// recent edit outcome ("" when none has been attempted).
 	PlanEpoch uint64
 	LastEdit  string
+	// AdmissionVerdict is the schedulability gate's verdict ("admit",
+	// "degraded"; "" when the gate is off); AdmissionBoundUS the latest
+	// analytical response-time bound and AdmissionHeadroomUS the
+	// envelope minus that bound, in µs (negative = predicted overload).
+	AdmissionVerdict    string
+	AdmissionBoundUS    float64
+	AdmissionHeadroomUS float64
+}
+
+// AdmissionEvent reports one admission-control decision (published on
+// TopicAdmission): the construction-time gate verdict, an edit-time
+// schedulability rejection, or the predictive monitor flagging the
+// recomputed bound over the envelope.
+type AdmissionEvent struct {
+	// Cycle is the engine cycle at decision time (0 at construction).
+	Cycle uint64
+	// Verdict is "admit", "degraded", "refuse", "edit-refused" or
+	// "predict-overload".
+	Verdict string
+	// Reason is the analysis summary behind the decision.
+	Reason string
+	// BoundUS is the analytical bound and EnvelopeUS the deadline it was
+	// held against, in µs.
+	BoundUS    float64
+	EnvelopeUS float64
+	// PreShed names the degradation rung of an admit-degraded decision.
+	PreShed string
+	// Predicted marks the monitor's over-budget flags (cost drift pushed
+	// the bound over before any miss).
+	Predicted bool
 }
 
 // TopologyEvent reports one live graph-edit adoption decision (published

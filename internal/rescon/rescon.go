@@ -382,3 +382,31 @@ func (m *Model) Efficiency(r *Result) float64 {
 	lower := math.Max(m.TotalWork()/float64(r.Threads), cp)
 	return lower / r.MakespanUS
 }
+
+// CriticalPathUS returns the earliest-start makespan — the critical
+// path length at unbounded parallelism, the absolute lower bound on any
+// execution of the model.
+func (m *Model) CriticalPathUS() float64 {
+	return m.EarliestStart().MakespanUS
+}
+
+// GrahamBound is Graham's greedy-scheduling upper bound for any
+// work-conserving executor on procs identical workers:
+//
+//	makespan ≤ CP + (W − CP) / m
+//
+// At every instant before the critical path finishes, either the path
+// is progressing or all m workers are busy on surplus work, of which
+// there is at most W − CP. The bound is monotone in both W and CP under
+// added nodes and edges — the property the admission monotonicity suite
+// pins down.
+func GrahamBound(totalWorkUS, critPathUS float64, procs int) float64 {
+	if procs < 1 {
+		procs = 1
+	}
+	surplus := totalWorkUS - critPathUS
+	if surplus < 0 {
+		surplus = 0
+	}
+	return critPathUS + surplus/float64(procs)
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,6 +12,16 @@ import (
 
 // NamePool is the strategy identifier for shared-pool sessions.
 const NamePool = "pool"
+
+// Typed Attach failures, so callers (the engine's admission front door,
+// multi-session orchestration) can distinguish capacity exhaustion from
+// shutdown with errors.Is instead of string matching.
+var (
+	// ErrPoolFull: every session slot is occupied.
+	ErrPoolFull = errors.New("sched: pool is full")
+	// ErrPoolClosed: the pool has been shut down.
+	ErrPoolClosed = errors.New("sched: pool is closed")
+)
 
 // Slot states of a pool session slot.
 const (
@@ -101,7 +112,7 @@ func (p *Pool) Attach(plan *graph.Plan, o Options) (*PoolSession, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed.Load() {
-		return nil, fmt.Errorf("sched: pool is closed")
+		return nil, ErrPoolClosed
 	}
 	for i := range p.slots {
 		if p.slots[i].state.Load() != slotEmpty {
@@ -122,7 +133,7 @@ func (p *Pool) Attach(plan *graph.Plan, o Options) (*PoolSession, error) {
 		p.slots[i].state.Store(slotIdle)
 		return s, nil
 	}
-	return nil, fmt.Errorf("sched: pool is full (%d sessions)", len(p.slots))
+	return nil, fmt.Errorf("%w (%d sessions)", ErrPoolFull, len(p.slots))
 }
 
 // Close shuts the pool down. It is idempotent. All sessions must be

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 )
@@ -50,6 +51,14 @@ type Collector struct {
 	incidents   atomic.Uint64
 	govLevel    atomic.Int32
 	busDrops    atomic.Int64
+
+	// Admission-control series (all off-path: the gate and the
+	// predictive monitor write them, never the cycle thread).
+	admBoundUS    atomic.Uint64 // float64 bits: latest analytical bound
+	admHeadroomUS atomic.Uint64 // float64 bits: envelope − bound
+	admDegrades   atomic.Uint64 // sessions admitted pre-degraded
+	admRefusedEd  atomic.Uint64 // edits rejected as unschedulable
+	admPredicted  atomic.Uint64 // predictive overload excursions
 
 	mu   sync.Mutex
 	ring ring
@@ -138,6 +147,30 @@ func (c *Collector) RecordIncident() { c.incidents.Add(1) }
 // (off-path gauge; the app facade updates it at health-report rate).
 func (c *Collector) SetBusDrops(n int64) { c.busDrops.Store(n) }
 
+// SetAdmissionBound publishes the latest analytical response-time bound
+// and its headroom against the envelope, in µs (admission gate and
+// predictive monitor; off-path gauges).
+func (c *Collector) SetAdmissionBound(boundUS, headroomUS float64) {
+	c.admBoundUS.Store(math.Float64bits(boundUS))
+	c.admHeadroomUS.Store(math.Float64bits(headroomUS))
+}
+
+// AdmissionBound returns the published (bound, headroom) gauge pair in
+// µs (0, 0 until the gate has analyzed anything).
+func (c *Collector) AdmissionBound() (boundUS, headroomUS float64) {
+	return math.Float64frombits(c.admBoundUS.Load()), math.Float64frombits(c.admHeadroomUS.Load())
+}
+
+// RecordAdmissionDegrade counts one session admitted pre-degraded.
+func (c *Collector) RecordAdmissionDegrade() { c.admDegrades.Add(1) }
+
+// RecordRefusedEdit counts one edit rejected as unschedulable.
+func (c *Collector) RecordRefusedEdit() { c.admRefusedEd.Add(1) }
+
+// RecordPredictedOverload counts one predictive overload excursion (the
+// recomputed bound crossing the envelope before misses occur).
+func (c *Collector) RecordPredictedOverload() { c.admPredicted.Add(1) }
+
 // SLO returns the budget tracker's current status.
 func (c *Collector) SLO() SLOStatus {
 	c.mu.Lock()
@@ -165,6 +198,13 @@ type Totals struct {
 	Incidents      uint64 `json:"incidents"`
 	GovLevel       int32  `json:"gov_level"`
 	BusDrops       int64  `json:"bus_drops"`
+
+	// Admission-control counters and gauges (0 when the gate is off).
+	AdmissionDegrades  uint64  `json:"admission_degrades"`
+	RefusedEdits       uint64  `json:"refused_edits"`
+	PredictedOverloads uint64  `json:"predicted_overloads"`
+	AdmissionBoundUS   float64 `json:"admission_bound_us"`
+	AdmissionHeadroom  float64 `json:"admission_headroom_us"`
 }
 
 // Totals returns the counter snapshot.
@@ -179,6 +219,12 @@ func (c *Collector) Totals() Totals {
 		Incidents:      c.incidents.Load(),
 		GovLevel:       c.govLevel.Load(),
 		BusDrops:       c.busDrops.Load(),
+
+		AdmissionDegrades:  c.admDegrades.Load(),
+		RefusedEdits:       c.admRefusedEd.Load(),
+		PredictedOverloads: c.admPredicted.Load(),
+		AdmissionBoundUS:   math.Float64frombits(c.admBoundUS.Load()),
+		AdmissionHeadroom:  math.Float64frombits(c.admHeadroomUS.Load()),
 	}
 }
 

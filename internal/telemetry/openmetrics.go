@@ -78,6 +78,12 @@ var counterFamilies = []scalarFamily{
 		func(c *Collector) float64 { return float64(c.incidents.Load()) }},
 	{"djstar_bus_dropped_events_total", "Middleware bus events dropped by slow subscribers.",
 		func(c *Collector) float64 { return float64(c.busDrops.Load()) }},
+	{"djstar_admission_degrades_total", "Sessions admitted pre-degraded by the admission gate.",
+		func(c *Collector) float64 { return float64(c.admDegrades.Load()) }},
+	{"djstar_admission_refused_edits_total", "Live edits rejected as unschedulable by the admission gate.",
+		func(c *Collector) float64 { return float64(c.admRefusedEd.Load()) }},
+	{"djstar_admission_predicted_overloads_total", "Predictive overload excursions (analytical bound crossed the envelope before misses).",
+		func(c *Collector) float64 { return float64(c.admPredicted.Load()) }},
 }
 
 var gaugeFamilies = []scalarFamily{
@@ -89,6 +95,10 @@ var gaugeFamilies = []scalarFamily{
 		func(c *Collector) float64 { hz, _ := c.Rates1m(); return hz }},
 	{"djstar_miss_rate_1m", "Deadline miss fraction over the last minute.",
 		func(c *Collector) float64 { _, mr := c.Rates1m(); return mr }},
+	{"djstar_admission_bound_seconds", "Latest analytical response-time bound from the admission gate.",
+		func(c *Collector) float64 { b, _ := c.AdmissionBound(); return b / 1e6 }},
+	{"djstar_admission_headroom_seconds", "Deadline envelope minus the analytical bound (negative = predicted overload).",
+		func(c *Collector) float64 { _, h := c.AdmissionBound(); return h / 1e6 }},
 }
 
 // WriteOpenMetrics writes the full exposition document for every

@@ -40,6 +40,7 @@ type Model struct {
 	lastFault string // most recent faulted node
 	degrade   string // most recent governor transition "from→to"
 	topology  string // most recent live graph edit outcome
+	admission string // most recent admission decision
 
 	// Gantt panel state: the latest sampled schedule realization.
 	trace    middleware.ScheduleTrace
@@ -91,6 +92,11 @@ func (m *Model) Apply(ev middleware.Event) {
 			m.topology = fmt.Sprintf("repatched %s (%d nodes)", p.Desc, p.Nodes)
 		} else {
 			m.topology = "repatch rolled back: " + p.Desc
+		}
+	case middleware.AdmissionEvent:
+		m.admission = fmt.Sprintf("%s %.0f/%.0fµs", p.Verdict, p.BoundUS, p.EnvelopeUS)
+		if p.PreShed != "" {
+			m.admission += " (" + p.PreShed + ")"
 		}
 	default:
 		if ev.Topic == middleware.TopicControl {
@@ -238,6 +244,19 @@ func (m *Model) healthLine() string {
 		}
 		if m.health.CritPathUS > 0 {
 			parts = append(parts, fmt.Sprintf("cp %.0fµs ∥%.2f", m.health.CritPathUS, m.health.Parallelism))
+		}
+		// Admission gate: the analytical bound vs the envelope, and how
+		// much headroom the session has before predicted overload.
+		if m.health.AdmissionVerdict != "" {
+			if m.health.AdmissionHeadroomUS < 0 {
+				parts = append(parts, fmt.Sprintf("ADM OVER bound %.0fµs", m.health.AdmissionBoundUS))
+			} else {
+				parts = append(parts, fmt.Sprintf("adm %s bound %.0fµs +%.0fµs",
+					m.health.AdmissionVerdict, m.health.AdmissionBoundUS, m.health.AdmissionHeadroomUS))
+			}
+		}
+		if m.admission != "" {
+			parts = append(parts, "adm: "+m.admission)
 		}
 		if len(m.health.Quarantined) > 0 {
 			parts = append(parts, "quarantined "+strings.Join(m.health.Quarantined, ","))

@@ -4,16 +4,21 @@
 #
 # Runs BenchmarkObsOverhead, which A/Bs the full default APC cycle
 # (observability collector + telemetry collector both live) against the
-# same cycle with each layer individually disabled, plus
-# BenchmarkFusedCycle, which A/Bs the cycle with chain fusion on against
-# the default off, and computes three ns-per-op ratios:
+# same cycle with each layer individually disabled and with the
+# admission gate enabled on top, plus BenchmarkFusedCycle, which A/Bs
+# the cycle with chain fusion on against the default off, and computes
+# four ns-per-op ratios:
 #
 #   obs ratio — default / obs-collector-disabled
 #   tel ratio — default / telemetry-collector-disabled
 #   fus ratio — fusion-on / fusion-off (< 1 means fusion helps)
+#   adm ratio — admission-gated / default (all analysis is off-cycle)
 #
 # Each ratio fails when it regresses more than 5 percentage points over
-# its checked-in baseline (scripts/obs_overhead_baseline.txt).
+# its checked-in baseline (scripts/obs_overhead_baseline.txt). The
+# admission gate additionally has a hard allocation contract, not a
+# baseline: adm=on must allocate no more per cycle than the default —
+# admission adds ZERO allocations to the hot path.
 #
 # Usage:
 #   scripts/check_obs_overhead.sh            # gate against the baseline
@@ -30,20 +35,38 @@ trap 'rm -f "$out"' EXIT
 go test -run '^$' -bench 'BenchmarkObsOverhead|BenchmarkFusedCycle' -benchtime 500x -count 5 . | tee "$out"
 
 ratios=$(awk '
-	/BenchmarkObsOverhead\/obs=on/     { if (!on     || $3 < on)     on     = $3 }
+	/BenchmarkObsOverhead\/obs=on/     { if (!on     || $3 < on)     on     = $3
+	                                     if (onal == "" || $7 < onal) onal  = $7 }
 	/BenchmarkObsOverhead\/obs=off/    { if (!noobs  || $3 < noobs)  noobs  = $3 }
 	/BenchmarkObsOverhead\/tel=off/    { if (!notel  || $3 < notel)  notel  = $3 }
+	/BenchmarkObsOverhead\/adm=on/     { if (!adm    || $3 < adm)    adm    = $3
+	                                     if (admal == "" || $7 < admal) admal = $7 }
 	/BenchmarkFusedCycle\/fusion=off/  { if (!fusoff || $3 < fusoff) fusoff = $3 }
 	/BenchmarkFusedCycle\/fusion=on/   { if (!fuson  || $3 < fuson)  fuson  = $3 }
 	END {
-		if (!on || !noobs || !notel || !fusoff || !fuson) { print "parse-error"; exit }
-		printf "obs %.4f\ntel %.4f\nfus %.4f\n", on / noobs, on / notel, fuson / fusoff
+		if (!on || !noobs || !notel || !adm || !fusoff || !fuson || onal == "" || admal == "") {
+			print "parse-error"; exit
+		}
+		printf "obs %.4f\ntel %.4f\nfus %.4f\nadm %.4f\nadmallocs %d %d\n",
+			on / noobs, on / notel, fuson / fusoff, adm / on, admal, onal
 	}' "$out")
 
 if [ "$ratios" = "parse-error" ]; then
 	echo "check_obs_overhead: could not parse benchmark output" >&2
 	exit 2
 fi
+
+# Hard gate first: the admission gate must not allocate on the hot path.
+echo "$ratios" | awk '$1 == "admallocs" {
+	printf "admission allocations: adm=on %d allocs/op, default %d allocs/op\n", $2, $3
+	if ($2 > $3) {
+		printf "FAIL: admission gate adds %d allocations per cycle to the hot path\n", $2 - $3
+		exit 1
+	}
+	print "OK: admission adds zero allocations to the hot path"
+}'
+
+ratios=$(printf '%s\n' "$ratios" | awk '$1 != "admallocs"')
 echo "$ratios"
 
 if [ "${1:-}" = "-update" ]; then
