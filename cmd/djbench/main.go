@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines, profile, threadsweep, ablation, staticvsonline, designspace, nodecosts, multisession, chaos, governor, critpath, obsoverhead, slo, fusion, editswap, admission, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (table1, fig4, fig8, fig9, fig10, fig11, fig12, deadlines, profile, threadsweep, ablation, staticvsonline, designspace, nodecosts, multisession, chaos, governor, critpath, obsoverhead, slo, fusion, editswap, admission, loadgen, all)")
 		cycles     = flag.Int("cycles", 10000, "APC iterations per measurement (paper: 10000)")
 		scale      = flag.Float64("scale", 1.0, "node cost scale (1.0 = paper scale, 0 = pure DSP)")
 		threads    = flag.Int("threads", 4, "maximum thread count (paper: 4)")
@@ -149,6 +149,7 @@ func main() {
 		{"fusion", wrap(exp.Fusion)},
 		{"editswap", wrap(exp.EditSwap)},
 		{"admission", wrap(exp.Admission)},
+		{"loadgen", wrap(exp.Loadgen)},
 	}
 
 	// Interrupts are honored at driver boundaries: the in-flight

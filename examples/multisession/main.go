@@ -27,12 +27,19 @@ func main() {
 	// 2. Four sessions over a pool of three helper workers. Each
 	//    session's driving goroutine executes nodes too, so the pool
 	//    behaves like the paper's 4-thread configuration per cycle.
+	//    Three come up with the shared defaults; the fourth shows the
+	//    SessionSpec options struct — a named session whose zero-valued
+	//    fields inherit the base config and whose set fields override it
+	//    (here: a fused hot-path plan just for this session).
 	const sessions = 4
-	m, err := engine.NewMulti(cfg, sessions, 3)
+	m, err := engine.NewMulti(cfg, sessions-1, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer m.Close()
+	if _, err := m.AddSession(engine.SessionSpec{ID: "guest-deck", Fuse: true}); err != nil {
+		log.Fatal(err)
+	}
 
 	// 3. Run one second of audio on every session at once: each engine
 	//    cycles independently; the pool multiplexes ready nodes from
@@ -45,8 +52,8 @@ func main() {
 	fmt.Printf("%d sessions × %d cycles over one shared pool (%d threads)\n\n",
 		sessions, cycles, m.Engines()[0].Scheduler().Threads())
 	for i, mm := range metrics {
-		s := m.Engines()[i].Session()
-		fmt.Printf("session %d: graph mean %.4f ms, worst %.4f ms | master peak %.3f\n",
-			i, mm.Graph.Mean(), mm.Graph.Max(), s.MasterOut().Peak())
+		e := m.Engines()[i]
+		fmt.Printf("session %-10s graph mean %.4f ms, worst %.4f ms | master peak %.3f\n",
+			e.SessionID()+":", mm.Graph.Mean(), mm.Graph.Max(), e.Session().MasterOut().Peak())
 	}
 }

@@ -102,6 +102,52 @@ func (c *Controller) Release(id string) {
 	delete(c.sessions, id)
 }
 
+// Probe computes the aggregate bounds with a hypothetical candidate
+// mixed in — the fleet's placement query. It returns the minimum
+// envelope headroom across every session including the candidate
+// (negative when something would leave the envelope) and whether all of
+// them still fit. Nothing is registered.
+func (c *Controller) Probe(rep *Report) (minHeadroomUS float64, fits bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cand := &sessionLoad{workUS: rep.TotalWorkUS, cpUS: rep.CritPathUS, baseUS: rep.BaseUS}
+	minHeadroomUS = c.cfg.PeriodUS
+	fits = true
+	for _, b := range c.boundsLocked("\x00probe", cand) {
+		if h := c.cfg.PeriodUS - b.BoundUS; h < minHeadroomUS {
+			minHeadroomUS = h
+		}
+		if !b.Fits {
+			fits = false
+		}
+	}
+	return minHeadroomUS, fits
+}
+
+// Headroom returns the minimum envelope headroom across the registered
+// sessions (the full envelope when none are registered).
+func (c *Controller) Headroom() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.cfg.PeriodUS
+	for _, b := range c.boundsLocked("", nil) {
+		if v := c.cfg.PeriodUS - b.BoundUS; v < h {
+			h = v
+		}
+	}
+	return h
+}
+
+// Len returns the number of registered sessions.
+func (c *Controller) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sessions)
+}
+
+// Envelope returns the controller's deadline envelope in µs.
+func (c *Controller) Envelope() float64 { return c.cfg.PeriodUS }
+
 // Sessions returns the aggregate bound of every registered session,
 // sorted by ID.
 func (c *Controller) Sessions() []SessionBound {

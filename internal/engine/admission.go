@@ -137,7 +137,7 @@ func newAdmissionRuntime(cfg *Config, plan *graph.Plan, threads int) (*admission
 	acfg := cfg.Admission.Config
 	if acfg.BaseUS == 0 {
 		// Non-graph APC work at the running scale: the TP/GP/VC targets.
-		acfg.BaseUS = (targetTPUS + targetGPUS + targetVCUS) * cfg.Graph.Scale
+		acfg.BaseUS = SessionBaseUS(cfg.Graph.Scale)
 	}
 	a := &admissionRuntime{
 		cfg:      acfg,
@@ -201,7 +201,7 @@ func (a *admissionRuntime) install(e *Engine) {
 			e.gov.force(level)
 		} else {
 			t := e.topo.Load()
-			shedKinds(e.sched, t.plan, a.decision.ShedUI, a.decision.ShedFX)
+			shedKinds(e.sch(), t.plan, a.decision.ShedUI, a.decision.ShedFX)
 		}
 	}
 	st := &AdmissionState{

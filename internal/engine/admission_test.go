@@ -104,7 +104,7 @@ func TestAdmissionAdmitsWithinEnvelope(t *testing.T) {
 	}
 	e.RunCycles(5)
 	snap := e.Snapshot()
-	if snap.SchemaVersion != 3 || snap.Admission == nil || snap.Admission.Verdict != "admit" {
+	if snap.SchemaVersion != 4 || snap.Admission == nil || snap.Admission.Verdict != "admit" {
 		t.Fatalf("snapshot admission = %+v (schema %d)", snap.Admission, snap.SchemaVersion)
 	}
 	b, h := e.Telemetry().AdmissionBound()
@@ -212,11 +212,18 @@ func TestAdmissionPoolFullSentinel(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer me.Close()
+	// NewMulti reserves slot headroom beyond the boot count; fill it.
+	capacity := me.Pool().Capacity()
+	for i := 2; i < capacity; i++ {
+		if _, err := me.AddSession(); err != nil {
+			t.Fatalf("session %d/%d refused: %v", i, capacity, err)
+		}
+	}
 	if _, err := me.AddSession(); !errors.Is(err, sched.ErrPoolFull) {
 		t.Fatalf("err = %v, want ErrPoolFull", err)
 	}
-	if got := len(me.Controller().Sessions()); got != 2 {
-		t.Fatalf("controller holds %d sessions after failed attach, want 2", got)
+	if got := len(me.Controller().Sessions()); got != capacity {
+		t.Fatalf("controller holds %d sessions after failed attach, want %d", got, capacity)
 	}
 }
 

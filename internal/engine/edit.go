@@ -257,7 +257,7 @@ func (e *Engine) adoptStaged() {
 		sw.Observer = st.topo.col
 	}
 	cyc := e.cycleN.Load()
-	if err := e.sched.StageSwap(sw); err != nil {
+	if err := e.sch().StageSwap(sw); err != nil {
 		e.recordEdit(EditOutcome{
 			Cycle: cyc, Epoch: e.planEpoch.Load(),
 			Ops: st.ops, Err: err.Error(), Desc: st.desc,
@@ -271,17 +271,17 @@ func (e *Engine) adoptStaged() {
 		})
 		return
 	}
-	e.sched.AdoptStaged()
+	e.sch().AdoptStaged()
 	if st.remap != nil {
 		migrateStates(old.plan, st.topo.plan, st.remap)
 	}
 	e.topo.Store(st.topo)
 	epoch := e.planEpoch.Add(1)
 	if e.gov != nil {
-		e.gov.retarget(e.sched, st.topo.plan)
+		e.gov.retarget(e.sch(), st.topo.plan)
 	}
 	if e.wd != nil {
-		e.wd.retarget(e.sched, st.topo.plan)
+		e.wd.retarget(e.sch(), st.topo.plan)
 	}
 	e.recordEdit(EditOutcome{
 		Cycle: cyc, Epoch: epoch, Ops: st.ops, Applied: true, Desc: st.desc,

@@ -249,8 +249,8 @@ func TestEngineSnapshotReportsEdits(t *testing.T) {
 	}
 	e.Cycle(nil)
 	snap := e.Snapshot()
-	if snap.SchemaVersion != 3 {
-		t.Fatalf("schema = %d, want 3", snap.SchemaVersion)
+	if snap.SchemaVersion != 4 {
+		t.Fatalf("schema = %d, want 4", snap.SchemaVersion)
 	}
 	if snap.PlanEpoch != 1 {
 		t.Fatalf("snapshot epoch = %d", snap.PlanEpoch)

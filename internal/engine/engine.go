@@ -139,8 +139,13 @@ type TelemetryOptions struct {
 	FlightTraces int
 	FlightEvents int
 	// Session labels this engine's metric series under a shared worker
-	// pool (NewMulti stamps it automatically; default "0").
+	// pool (NewMulti stamps it automatically; default "0"). Fleet-scoped
+	// session IDs stay stable across shard migration.
 	Session string
+	// Shard labels the metric series with the shard currently hosting
+	// the session (fleet mode; empty = label omitted). Migration updates
+	// it via Collector.SetShard.
+	Shard string
 	// OnIncident, when set, is notified after an incident bundle is
 	// written (called on the dump goroutine, never the audio path).
 	OnIncident func(path string, inc *telemetry.Incident)
@@ -184,8 +189,13 @@ type Engine struct {
 	// topo is the live topology bundle (see topology). Cross-thread
 	// readers (Snapshot, Health, incident dumps, the watchdog) Load it;
 	// only the cycle thread Stores it, at edit adoption.
-	topo  atomic.Pointer[topology]
-	sched sched.Scheduler
+	topo atomic.Pointer[topology]
+	// sref holds the active scheduler. It is atomic because Rebind (a
+	// cross-pool session migration, executed between cycles) replaces the
+	// scheduler while Snapshot/Health readers on other threads look at
+	// it. Everywhere else it behaves like a plain field: stored at
+	// construction, read via sch().
+	sref atomic.Pointer[schedRef]
 	// editMu serializes edit staging (ApplyEdits / ApplyPatch /
 	// RecompileFused); staged holds the topology bundle waiting for the
 	// next cycle boundary to adopt it (see edit.go).
@@ -247,6 +257,13 @@ type Engine struct {
 	prevGC      int
 	closed      atomic.Bool
 }
+
+// schedRef wraps the Scheduler interface for atomic.Pointer (interfaces
+// with varying concrete types cannot go into atomic.Pointer directly).
+type schedRef struct{ s sched.Scheduler }
+
+// sch returns the active scheduler.
+func (e *Engine) sch() sched.Scheduler { return e.sref.Load().s }
 
 // sharedSequence is built once per process; it is deterministic and
 // read-only after construction.
@@ -355,13 +372,13 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:         cfg,
 		session:     session,
-		sched:       scheduler,
 		ownedPool:   ownedPool,
 		obsWorkers:  obsWorkers,
 		seq:         sharedSequence,
 		lf:          lf,
 		masterTempo: 1,
 	}
+	e.sref.Store(&schedRef{scheduler})
 	e.topo.Store(&topology{g: g, plan: plan, execPlan: execPlan, col: collector})
 	e.userFactor.Store(math.Float64bits(1))
 	e.govFactor.Store(math.Float64bits(1))
@@ -370,6 +387,7 @@ func New(cfg Config) (*Engine, error) {
 		e.tel = telemetry.NewCollector(telemetry.Config{
 			Strategy: scheduler.Name(),
 			Session:  cfg.Telemetry.Session,
+			Shard:    cfg.Telemetry.Shard,
 			SLO:      cfg.Telemetry.SLO,
 		})
 		e.flight = telemetry.NewRecorder(e.tel, telemetry.RecorderConfig{
@@ -493,7 +511,7 @@ func (e *Engine) Health() Health {
 	h := Health{
 		Level:      e.GovLevel(),
 		LoadFactor: e.lf.Get(),
-		Faults:     e.sched.Faults(),
+		Faults:     e.sch().Faults(),
 	}
 	if e.gov != nil {
 		h.WindowMissRate = math.Float64frombits(e.gov.lastRate.Load())
@@ -501,7 +519,7 @@ func (e *Engine) Health() Health {
 	}
 	t := e.topo.Load()
 	for i := range t.plan.Names {
-		if e.sched.Quarantined(int32(i)) {
+		if e.sch().Quarantined(int32(i)) {
 			h.Quarantined = append(h.Quarantined, t.plan.Names[i])
 		}
 	}
@@ -515,6 +533,68 @@ func (e *Engine) Health() Health {
 // Session exposes the audio session (decks, mixer, FX) for live control.
 func (e *Engine) Session() *graph.Session { return e.session }
 
+// SessionID returns the engine's session label — the OpenMetrics
+// "session" label and the /v1 resource ID. Containers (NewMulti, fleet)
+// stamp it at construction; a standalone engine defaults to "0".
+func (e *Engine) SessionID() string {
+	if e.cfg.Telemetry.Session != "" {
+		return e.cfg.Telemetry.Session
+	}
+	return "0"
+}
+
+// Cycles returns the engine's cycle count (any thread).
+func (e *Engine) Cycles() uint64 { return e.cycleN.Load() }
+
+// SessionBaseUS is the analytical per-cycle cost of the non-graph APC
+// components (TP+GP+VC) at the given graph scale — the BaseUS term of
+// admission envelopes.
+func SessionBaseUS(scale float64) float64 {
+	return (targetTPUS + targetGPUS + targetVCUS) * scale
+}
+
+// Rebind migrates a pool-attached engine onto another shared pool — the
+// shard-drain primitive. The session's plan, node state (decks, delay
+// lines, FX), observer, fault/quarantine/shed state and cycle count all
+// carry over; only the executor changes, via sched.Pool.AttachMigrated,
+// so no cycle is lost or doubled. Any staged-but-unadopted topology edit
+// survives and adopts at the next cycle on the new pool.
+//
+// The caller must guarantee no Cycle is in flight (fleet drivers call it
+// strictly between cycles). The destination pool must not expose more
+// parallelism than the source (workers+1 ≤ the collector's shard count);
+// fleet shards are sized symmetrically so this holds by construction.
+func (e *Engine) Rebind(dst *sched.Pool) error {
+	if e.closed.Load() {
+		return fmt.Errorf("engine: Rebind after Close")
+	}
+	if dst == nil {
+		return fmt.Errorf("engine: Rebind needs a pool")
+	}
+	ps, ok := e.sch().(*sched.PoolSession)
+	if !ok {
+		return fmt.Errorf("engine: Rebind needs a pool-attached session (strategy %q)", e.sch().Name())
+	}
+	if dst.Workers()+1 > e.obsWorkers {
+		return fmt.Errorf("engine: Rebind target exposes %d workers, observer is sized for %d",
+			dst.Workers()+1, e.obsWorkers)
+	}
+	ns, err := dst.AttachMigrated(ps, sched.Options{})
+	if err != nil {
+		return err
+	}
+	e.sref.Store(&schedRef{ns})
+	e.cfg.Pool = dst
+	t := e.topo.Load()
+	if e.gov != nil {
+		e.gov.retarget(ns, t.plan)
+	}
+	if e.wd != nil {
+		e.wd.retarget(ns, t.plan)
+	}
+	return nil
+}
+
 // Plan exposes the compiled task graph of the current epoch.
 func (e *Engine) Plan() *graph.Plan { return e.topo.Load().plan }
 
@@ -525,7 +605,7 @@ func (e *Engine) Plan() *graph.Plan { return e.topo.Load().plan }
 func (e *Engine) Graph() *graph.Graph { return e.topo.Load().g }
 
 // Scheduler exposes the active scheduler.
-func (e *Engine) Scheduler() sched.Scheduler { return e.sched }
+func (e *Engine) Scheduler() sched.Scheduler { return e.sch() }
 
 // Collector exposes the observability collector of the current epoch
 // (nil when disabled via ObsOptions.Disable). Structural edits replace
@@ -558,7 +638,7 @@ func (e *Engine) Close() {
 		e.flight.Flush()
 	}
 	e.staged.Store(nil)
-	e.sched.Close()
+	e.sch().Close()
 	if e.ownedPool != nil {
 		e.ownedPool.Close()
 	}
@@ -572,6 +652,10 @@ type Metrics struct {
 	Strategy string
 	Threads  int
 	Cycles   int
+	// SessionID is the owning engine's stable session label (stamped by
+	// StampMetrics) — RunCyclesConcurrent results stay attributable even
+	// after sessions migrate between shards.
+	SessionID string
 
 	// Per-component timing summaries in milliseconds.
 	TP, GP, Graph, VC, APC *stats.Summary
@@ -620,7 +704,7 @@ func (m *Metrics) String() string {
 // evaluation mode: the paper's numbers are execution times per cycle, not
 // wall-clock pacing.
 func (e *Engine) RunCycles(n int) *Metrics {
-	m := newMetrics(e.sched.Name(), e.sched.Threads())
+	m := newMetrics(e.sch().Name(), e.sch().Threads())
 	if e.cfg.CollectSamples {
 		m.GraphSamplesMS = make([]float64, 0, n)
 		m.APCSamplesMS = make([]float64, 0, n)
@@ -635,13 +719,14 @@ func (e *Engine) RunCycles(n int) *Metrics {
 // NewMetrics returns an empty metrics sink for manual Cycle loops (the
 // chaos/governor drivers observe per-cycle state between cycles); call
 // StampMetrics when the loop finishes.
-func (e *Engine) NewMetrics() *Metrics { return newMetrics(e.sched.Name(), e.sched.Threads()) }
+func (e *Engine) NewMetrics() *Metrics { return newMetrics(e.sch().Name(), e.sch().Threads()) }
 
 // StampMetrics records the run's fault-tolerance outcome (fault counters,
 // stall count, final governor level) into m. RunCycles and RunRealtime
 // call it automatically.
 func (e *Engine) StampMetrics(m *Metrics) {
-	m.Faults = e.sched.Faults()
+	m.SessionID = e.SessionID()
+	m.Faults = e.sch().Faults()
 	if e.wd != nil {
 		m.Stalls = e.wd.Stalls()
 	}
@@ -677,7 +762,7 @@ func (e *Engine) Cycle(m *Metrics) {
 	if e.wd != nil {
 		e.wd.arm(cyc)
 	}
-	e.sched.Execute()
+	e.sch().Execute()
 	if e.wd != nil {
 		e.wd.disarm()
 	}
@@ -801,7 +886,7 @@ type RealtimeReport struct {
 // pacing. The pacing loop spins (like the audio callback thread of a
 // low-latency audio stack) rather than sleeping.
 func (e *Engine) RunRealtime(n int) *RealtimeReport {
-	m := newMetrics(e.sched.Name(), e.sched.Threads())
+	m := newMetrics(e.sch().Name(), e.sch().Threads())
 	if e.cfg.CollectSamples {
 		m.GraphSamplesMS = make([]float64, 0, n)
 		m.APCSamplesMS = make([]float64, 0, n)

@@ -6,18 +6,19 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
+	"djstar/internal/apiv1"
 	"djstar/internal/obs"
 	"djstar/internal/telemetry"
 )
 
 // DebugServer is the optional live-observability HTTP endpoint
-// (djstar/djbench -http): net/http/pprof under /debug/pprof/, plus
-// JSON views of the engine Snapshot, the latest critical path and the
-// latest sampled schedule realization (as Chrome trace_event JSON).
-// It reads engine state through Snapshot/Collector only, so serving
-// never touches the audio path.
+// (djstar/djbench -http): net/http/pprof under /debug/pprof/, plus the
+// versioned /v1 resource API over the engine's one session. It reads
+// engine state through Snapshot/Collector only, so serving never
+// touches the audio path.
 type DebugServer struct {
 	srv *http.Server
 	ln  net.Listener
@@ -25,17 +26,24 @@ type DebugServer struct {
 
 // StartDebugServer listens on addr (e.g. ":6060") and serves:
 //
-//	/debug/pprof/     – the standard pprof index and profiles
-//	/api/snapshot     – engine.Snapshot JSON (versioned)
-//	/api/critpath     – the measured critical path JSON
-//	/api/trace        – latest sampled cycles as Chrome trace JSON
-//	/api/admission    – schedulability gate status JSON (verdict, bound)
-//	/api/edit         – POST {"patch":"<spec>"}: stage a live graph edit
-//	/metrics          – telemetry in OpenMetrics/Prometheus text format
-//	/api/slo          – deadline-miss budget status JSON
+//	/debug/pprof/                – the standard pprof index and profiles
+//	GET  /v1/sessions            – list (always exactly one session here)
+//	GET  /v1/sessions/{id}           – session summary
+//	GET  /v1/sessions/{id}/snapshot  – full engine.Snapshot JSON (versioned)
+//	GET  /v1/sessions/{id}/critpath  – measured critical path JSON
+//	GET  /v1/sessions/{id}/trace     – sampled cycles as Chrome trace JSON
+//	GET  /v1/sessions/{id}/slo       – deadline-miss budget status JSON
+//	POST /v1/sessions/{id}/edits     – stage a live graph edit {"patch":...}
+//	POST /v1/sessions/{id}/retune    – live knobs {"load_factor":...}
+//	/metrics                     – telemetry in OpenMetrics text format
 //
-// snapshot supplies the engine view per request; for a multi-session
-// process pass a closure over the session of interest.
+// {id} must be the engine's session ID (GET /v1/sessions to discover
+// it); anything else is 404 — the path names a resource, and this
+// server hosts exactly one.
+//
+// Deprecated flat aliases remain for one release and answer with a
+// "Deprecation: true" header plus a successor Link: /api/snapshot,
+// /api/critpath, /api/trace, /api/admission, /api/edit, /api/slo.
 func StartDebugServer(addr string, e *Engine) (*DebugServer, error) {
 	if e == nil {
 		return nil, fmt.Errorf("engine: debug server needs an engine")
@@ -46,74 +54,98 @@ func StartDebugServer(addr string, e *Engine) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/api/snapshot", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, e.Snapshot())
+
+	// checkID 404s requests addressing a session this server does not
+	// host. Returns false after writing the error.
+	checkID := func(w http.ResponseWriter, r *http.Request) bool {
+		if id := r.PathValue("id"); id != e.SessionID() {
+			writeJSONStatus(w, http.StatusNotFound,
+				apiv1.Error{Error: fmt.Sprintf("no session %q (this server hosts session %q)", id, e.SessionID())})
+			return false
+		}
+		return true
+	}
+
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, apiv1.SessionList{Sessions: []apiv1.Session{V1Session(e)}})
 	})
-	mux.HandleFunc("/api/critpath", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if checkID(w, r) {
+			writeJSON(w, V1Session(e))
+		}
+	})
+	handleSnapshot := func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, e.Snapshot())
+	}
+	handleCritpath := func(w http.ResponseWriter, _ *http.Request) {
 		ps, ok := e.CriticalPath()
 		if !ok {
-			http.Error(w, `{"error":"no observability data yet"}`, http.StatusServiceUnavailable)
+			writeJSONStatus(w, http.StatusServiceUnavailable, apiv1.Error{Error: "no observability data yet"})
 			return
 		}
 		writeJSON(w, ps)
-	})
-	mux.HandleFunc("/api/trace", func(w http.ResponseWriter, _ *http.Request) {
+	}
+	handleTrace := func(w http.ResponseWriter, _ *http.Request) {
 		// One topology load keeps the plan and collector from one epoch.
 		t := e.topo.Load()
 		if t.col == nil {
-			http.Error(w, `{"error":"observability disabled"}`, http.StatusServiceUnavailable)
+			writeJSONStatus(w, http.StatusServiceUnavailable, apiv1.Error{Error: "observability disabled"})
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = obs.WriteChromeTrace(w, t.plan, t.col.Traces())
-	})
-	mux.HandleFunc("/api/admission", func(w http.ResponseWriter, _ *http.Request) {
-		st := e.AdmissionState()
-		if st == nil {
-			http.Error(w, `{"error":"admission gate disabled"}`, http.StatusServiceUnavailable)
-			return
-		}
-		writeJSON(w, st)
-	})
-	mux.HandleFunc("/api/edit", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, `{"error":"POST only"}`, http.StatusMethodNotAllowed)
-			return
-		}
-		var req struct {
-			Patch string `json:"patch"`
-		}
+	}
+	handleEdit := func(w http.ResponseWriter, r *http.Request) {
+		var req apiv1.EditRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Patch == "" {
-			http.Error(w, `{"error":"body must be {\"patch\":\"<spec>\"}"}`, http.StatusBadRequest)
+			writeJSONStatus(w, http.StatusBadRequest, apiv1.Error{Error: `body must be {"patch":"<spec>"}`})
 			return
-		}
-		type editResp struct {
-			OK     bool   `json:"ok"`
-			Staged bool   `json:"staged"`
-			Epoch  uint64 `json:"epoch"`
-			Error  string `json:"error,omitempty"`
 		}
 		if err := e.ApplyPatch(req.Patch); err != nil {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusUnprocessableEntity)
-			_ = json.NewEncoder(w).Encode(editResp{Epoch: e.PlanEpoch(), Error: err.Error()})
+			writeJSONStatus(w, http.StatusUnprocessableEntity,
+				apiv1.EditResponse{Epoch: e.PlanEpoch(), Error: err.Error()})
 			return
 		}
 		// The edit is staged; adoption happens at the next cycle boundary
-		// (watch plan_epoch in /api/snapshot).
-		writeJSON(w, editResp{OK: true, Staged: true, Epoch: e.PlanEpoch()})
-	})
+		// (watch plan_epoch in the snapshot).
+		writeJSON(w, apiv1.EditResponse{OK: true, Staged: true, Epoch: e.PlanEpoch()})
+	}
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", guard(checkID, handleSnapshot))
+	mux.HandleFunc("GET /v1/sessions/{id}/critpath", guard(checkID, handleCritpath))
+	mux.HandleFunc("GET /v1/sessions/{id}/trace", guard(checkID, handleTrace))
+	mux.HandleFunc("POST /v1/sessions/{id}/edits", guard(checkID, handleEdit))
+	mux.HandleFunc("POST /v1/sessions/{id}/retune", guard(checkID, func(w http.ResponseWriter, r *http.Request) {
+		RetuneHandler(e, w, r)
+	}))
+
+	handleSLO := func(w http.ResponseWriter, _ *http.Request) {
+		writeJSONStatus(w, http.StatusServiceUnavailable, apiv1.Error{Error: "telemetry disabled"})
+	}
 	if tel := e.Telemetry(); tel != nil {
 		reg := telemetry.NewRegistry(tel)
 		mux.Handle("/metrics", reg.Handler())
-		mux.Handle("/api/slo", reg.Handler())
+		h := reg.Handler()
+		handleSLO = func(w http.ResponseWriter, r *http.Request) { h.ServeHTTP(w, r) }
 	} else {
-		disabled := func(w http.ResponseWriter, _ *http.Request) {
-			http.Error(w, `{"error":"telemetry disabled"}`, http.StatusServiceUnavailable)
-		}
-		mux.HandleFunc("/metrics", disabled)
-		mux.HandleFunc("/api/slo", disabled)
+		mux.HandleFunc("/metrics", handleSLO)
 	}
+	mux.HandleFunc("GET /v1/sessions/{id}/slo", guard(checkID, handleSLO))
+
+	// Legacy flat endpoints: thin shims over the /v1 handlers, kept for
+	// one deprecation cycle so existing scripts/dashboards keep working.
+	mux.HandleFunc("GET /api/snapshot", deprecated("/v1/sessions/{id}/snapshot", handleSnapshot))
+	mux.HandleFunc("GET /api/critpath", deprecated("/v1/sessions/{id}/critpath", handleCritpath))
+	mux.HandleFunc("GET /api/trace", deprecated("/v1/sessions/{id}/trace", handleTrace))
+	mux.HandleFunc("GET /api/admission", deprecated("/v1/sessions/{id}/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		st := e.AdmissionState()
+		if st == nil {
+			writeJSONStatus(w, http.StatusServiceUnavailable, apiv1.Error{Error: "admission gate disabled"})
+			return
+		}
+		writeJSON(w, st)
+	}))
+	mux.HandleFunc("POST /api/edit", deprecated("/v1/sessions/{id}/edits", handleEdit))
+	mux.HandleFunc("GET /api/slo", deprecated("/v1/sessions/{id}/slo", handleSLO))
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -127,6 +159,75 @@ func StartDebugServer(addr string, e *Engine) (*DebugServer, error) {
 	return d, nil
 }
 
+// V1Session assembles the /v1 session summary for one engine. Fleet
+// servers use it too, filling in the shard afterwards.
+func V1Session(e *Engine) apiv1.Session {
+	snap := e.Snapshot()
+	s := apiv1.Session{
+		ID:        snap.SessionID,
+		Shard:     -1,
+		Strategy:  snap.Strategy,
+		Threads:   snap.Threads,
+		Cycles:    snap.Cycles,
+		PlanEpoch: snap.PlanEpoch,
+		APCMeanMS: snap.APCMeanMS,
+		MissRate:  snap.MissRate,
+		GovLevel:  snap.Health.Level.String(),
+		SLO:       snap.SLO,
+	}
+	if sh, err := strconv.Atoi(snap.Shard); err == nil {
+		s.Shard = sh
+	}
+	if a := snap.Admission; a != nil {
+		s.Verdict = a.Verdict
+		if a.Report != nil {
+			s.BoundUS = a.Report.BoundUS
+			s.HeadroomUS = a.Report.HeadroomUS
+		}
+	}
+	return s
+}
+
+// RetuneHandler applies a /v1 retune request to one engine — shared by
+// the single-engine debug server and the fleet control plane.
+func RetuneHandler(e *Engine, w http.ResponseWriter, r *http.Request) {
+	var req apiv1.RetuneRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSONStatus(w, http.StatusBadRequest, apiv1.Error{Error: "malformed retune body: " + err.Error()})
+		return
+	}
+	if req.LoadFactor != nil {
+		if *req.LoadFactor <= 0 {
+			writeJSONStatus(w, http.StatusUnprocessableEntity, apiv1.Error{Error: "load_factor must be > 0"})
+			return
+		}
+		e.SetLoadFactor(*req.LoadFactor)
+	}
+	for d, speed := range req.TurntableSpeed {
+		e.SetTurntableSpeed(d, speed)
+	}
+	writeJSON(w, apiv1.RetuneResponse{OK: true, LoadFactor: e.LoadFactor()})
+}
+
+// guard chains the {id} check in front of a handler.
+func guard(check func(http.ResponseWriter, *http.Request) bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if check(w, r) {
+			h(w, r)
+		}
+	}
+}
+
+// deprecated marks a legacy endpoint per RFC 9745 (Deprecation header)
+// with a Link to its /v1 successor, then serves the same data.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
 // Addr returns the bound listen address (useful with ":0").
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
@@ -135,6 +236,14 @@ func (d *DebugServer) Close() error { return d.srv.Close() }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)

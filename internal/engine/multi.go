@@ -29,18 +29,29 @@ type MultiEngine struct {
 	pool    *sched.Pool
 	ctl     *admission.Controller
 	engines []*Engine
-	closed  bool
+	// seq is the next auto-assigned session ID. Monotonic — IDs are
+	// never reused, so metric series and /v1 resources stay stable for a
+	// session's whole life.
+	seq    int
+	closed bool
 }
 
 // NewMulti builds sessions engines over a fresh shared pool with the
-// given helper worker count. Each engine gets its own copy of cfg with
-// the pool installed; cfg.Strategy/cfg.Threads are ignored. DisableGC is
-// applied at most once (the setting is process-wide).
+// given helper worker count. Each engine's Config is resolved from cfg
+// as the base of a zero SessionSpec (see AddSession); cfg.Strategy and
+// cfg.Threads are ignored. DisableGC is applied at most once (the
+// setting is process-wide).
 func NewMulti(cfg Config, sessions, workers int) (*MultiEngine, error) {
 	if sessions < 1 {
 		return nil, fmt.Errorf("engine: sessions = %d, want >= 1", sessions)
 	}
-	pool, err := sched.NewPool(workers, sessions)
+	// Slots are cheap; leave headroom so AddSession can grow the group
+	// past the boot count without hitting ErrPoolFull.
+	capacity := sessions * 2
+	if capacity < 8 {
+		capacity = 8
+	}
+	pool, err := sched.NewPool(workers, capacity)
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +61,7 @@ func NewMulti(cfg Config, sessions, workers int) (*MultiEngine, error) {
 		if m.ctl == nil {
 			acfg := cfg.Admission.Config
 			if acfg.BaseUS == 0 {
-				acfg.BaseUS = (targetTPUS + targetGPUS + targetVCUS) * cfg.Graph.Scale
+				acfg.BaseUS = SessionBaseUS(cfg.Graph.Scale)
 			}
 			// Like the per-session gate, count processors, not workers:
 			// the hardware caps the pool's real parallelism.
@@ -67,21 +78,33 @@ func NewMulti(cfg Config, sessions, workers int) (*MultiEngine, error) {
 }
 
 // AddSession attaches one more session to the shared pool — the dynamic
-// growth path the admission gate exists for. With admission enabled the
-// session is held against the pool's aggregate bound first; the error
-// wraps admission.ErrOverBudget on an analytical refusal and
-// sched.ErrPoolFull when the pool's slots are exhausted.
-func (m *MultiEngine) AddSession() (*Engine, error) {
+// growth path the admission gate exists for. The optional spec carries
+// the session's knobs (ID, fusion, margin, hooks); omitted, the session
+// takes the container defaults with an auto-assigned monotonic ID. With
+// admission enabled the session is held against the pool's aggregate
+// bound first; the error wraps admission.ErrOverBudget on an analytical
+// refusal and sched.ErrPoolFull when the pool's slots are exhausted.
+func (m *MultiEngine) AddSession(spec ...SessionSpec) (*Engine, error) {
 	if m.closed {
 		return nil, fmt.Errorf("engine: AddSession after Close")
 	}
-	i := len(m.engines)
-	c := m.cfg
+	if len(spec) > 1 {
+		return nil, fmt.Errorf("engine: AddSession takes at most one spec, got %d", len(spec))
+	}
+	var sp SessionSpec
+	if len(spec) == 1 {
+		sp = spec[0]
+	}
+	if sp.ID == "" {
+		sp.ID = fmt.Sprintf("%d", m.seq)
+	}
+	first := m.seq == 0
+	m.seq++
+	c := sp.Resolve(m.cfg)
 	c.Pool = m.pool
 	c.Strategy = sched.NamePool
-	c.Telemetry.Session = fmt.Sprintf("%d", i)
 	c.Admission.Controller = m.ctl
-	if i > 0 {
+	if !first {
 		c.DisableGC = false
 	}
 	e, err := New(c)

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"djstar/internal/graph"
+)
+
+// SessionSpec describes one session to construct over a base Config —
+// the per-session knobs that containers (NewMulti, the fleet) compose
+// with pool-level defaults. It replaces the previous pattern of every
+// call site hand-cloning a shared Config and poking fields: the base
+// Config carries what all sessions share (graph shape, telemetry/obs
+// tuning, governor policy), the spec carries what distinguishes one
+// session, and Resolve merges the two without mutating either.
+type SessionSpec struct {
+	// ID labels the session's snapshot and metric series (the
+	// OpenMetrics "session" label and the /v1 resource ID). Fleet-scoped
+	// IDs stay stable across shard migration. Empty = the container
+	// assigns a monotonic ID.
+	ID string
+	// Strategy and Threads override the base scheduling strategy —
+	// ignored by pool-attached containers, where the pool's parallelism
+	// rules.
+	Strategy string
+	Threads  int
+	// Fuse enables cost-guided chain fusion for this session, with
+	// FuseOpts tuning the pass (zero = defaults).
+	Fuse     bool
+	FuseOpts graph.FuseOptions
+	// AdmissionMargin overrides the admission gate's safety margin
+	// (margin × (base + graph bound) ≤ period); 0 keeps the base
+	// config's margin.
+	AdmissionMargin float64
+	// Hooks are per-session event hooks; non-nil fields override the
+	// base config's.
+	Hooks Hooks
+	// Graph, when non-nil, replaces the base graph config wholesale
+	// (decks, FX chains, scale).
+	Graph *graph.Config
+}
+
+// Resolve merges the spec over a base Config, returning the effective
+// per-session Config. The base is taken by value and never mutated, so
+// one base can safely fan out to many sessions.
+func (sp SessionSpec) Resolve(base Config) Config {
+	c := base
+	if sp.Graph != nil {
+		c.Graph = *sp.Graph
+	}
+	if sp.Strategy != "" {
+		c.Strategy = sp.Strategy
+	}
+	if sp.Threads > 0 {
+		c.Threads = sp.Threads
+	}
+	if sp.Fuse {
+		c.FusePlan = true
+		c.Fuse = sp.FuseOpts
+	}
+	if sp.AdmissionMargin > 0 {
+		c.Admission.Config.Margin = sp.AdmissionMargin
+	}
+	if sp.ID != "" {
+		c.Telemetry.Session = sp.ID
+	}
+	c.Hooks = mergeHooks(base.Hooks, sp.Hooks)
+	return c
+}
+
+// NewSession builds an engine from a base Config and a per-session
+// spec — New(sp.Resolve(base)).
+func NewSession(base Config, sp SessionSpec) (*Engine, error) {
+	return New(sp.Resolve(base))
+}
+
+// mergeHooks overlays per-session hooks on container defaults: each
+// non-nil override wins its field.
+func mergeHooks(base, over Hooks) Hooks {
+	h := base
+	if over.OnFault != nil {
+		h.OnFault = over.OnFault
+	}
+	if over.OnGovChange != nil {
+		h.OnGovChange = over.OnGovChange
+	}
+	if over.OnStall != nil {
+		h.OnStall = over.OnStall
+	}
+	if over.OnCycle != nil {
+		h.OnCycle = over.OnCycle
+	}
+	if over.OnTrace != nil {
+		h.OnTrace = over.OnTrace
+	}
+	if over.OnTopology != nil {
+		h.OnTopology = over.OnTopology
+	}
+	if over.OnAdmission != nil {
+		h.OnAdmission = over.OnAdmission
+	}
+	return h
+}

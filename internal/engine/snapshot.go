@@ -19,7 +19,11 @@ import (
 // v3 added Admission (the schedulability gate's verdict, analytical
 // bound and predictive-overload flag; nil when the gate is off). See
 // DESIGN.md §15.
-const SnapshotSchemaVersion = 3
+//
+// v4 added SessionID (the fleet-scoped session label, stable across
+// shard migration) and Shard (the hosting shard, "" outside a fleet).
+// See DESIGN.md §16.
+const SnapshotSchemaVersion = 4
 
 // Snapshot is the engine's unified point-in-time observability view:
 // whole-run cycle accounting, health/fault/degradation state, per-node
@@ -30,6 +34,14 @@ const SnapshotSchemaVersion = 3
 // the audio path.
 type Snapshot struct {
 	SchemaVersion int `json:"schema_version"`
+
+	// SessionID is the engine's stable session label — under a fleet it
+	// survives shard migration, so dashboards keyed on it never see a
+	// session change identity. Schema v4.
+	SessionID string `json:"session_id"`
+	// Shard is the shard currently hosting the session ("" outside a
+	// fleet). Schema v4.
+	Shard string `json:"shard,omitempty"`
 
 	Strategy string `json:"strategy"`
 	Threads  int    `json:"threads"`
@@ -112,10 +124,14 @@ func (l *liveStats) add(tp, gp, graph, vc, apc float64, missed bool) {
 func (e *Engine) Snapshot() Snapshot {
 	s := Snapshot{
 		SchemaVersion: SnapshotSchemaVersion,
-		Strategy:      e.sched.Name(),
-		Threads:       e.sched.Threads(),
+		SessionID:     e.SessionID(),
+		Strategy:      e.sch().Name(),
+		Threads:       e.sch().Threads(),
 		PlanEpoch:     e.planEpoch.Load(),
 		Health:        e.Health(),
+	}
+	if e.tel != nil {
+		s.Shard = e.tel.Shard()
 	}
 	if le := e.lastEdit.Load(); le != nil {
 		cp := *le

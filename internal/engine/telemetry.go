@@ -70,7 +70,7 @@ func (e *Engine) fillIncident(inc *telemetry.Incident) {
 	// One topology load: the dump goroutine gets a plan and collector
 	// from the same epoch even if an edit lands mid-dump.
 	t := e.topo.Load()
-	inc.Threads = e.sched.Threads()
+	inc.Threads = e.sch().Threads()
 	inc.Graph = telemetry.GraphInfo{
 		Names: t.plan.Names,
 		Order: t.plan.Order,

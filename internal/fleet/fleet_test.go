@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"djstar/internal/admission"
+	"djstar/internal/engine"
+	"djstar/internal/graph"
+)
+
+func testConfig() Config {
+	gc := graph.DefaultConfig()
+	gc.TrackBars = 2
+	cfg := Config{
+		Shards:          2,
+		WorkersPerShard: 1,
+	}
+	cfg.Engine.Graph = gc
+	return cfg
+}
+
+func TestFleetAddRemoveSession(t *testing.T) {
+	f, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, p, err := f.AddSession(engine.SessionSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID() != "s-000000" {
+		t.Fatalf("auto ID = %q", s.ID())
+	}
+	if p.Shard != s.Shard() || p.Shard < 0 {
+		t.Fatalf("placement shard %d, session shard %d", p.Shard, s.Shard())
+	}
+	if len(p.Candidates) != 2 {
+		t.Fatalf("placement probed %d shards, want 2", len(p.Candidates))
+	}
+	// The session must actually be cycling on the packet clock.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Engine().Cycles() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("session driver not advancing")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, _, err := f.AddSession(engine.SessionSpec{ID: "s-000000"}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate ID error = %v", err)
+	}
+	if err := f.RemoveSession(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Session(s.ID()); got != nil {
+		t.Fatal("session still registered after remove")
+	}
+	if n := f.shards[s.Shard()].ctl.Len(); n != 0 {
+		t.Fatalf("controller still tracks %d sessions after remove", n)
+	}
+}
+
+// TestPlacementHeadroomBeatsRoundRobin pre-loads shard 0 with a heavy
+// ballast registration and shows that analytical-headroom placement
+// (a) sends the first session to the empty shard with the larger
+// probed headroom, and (b) admits strictly more sessions than blind
+// round-robin on the same asymmetric fleet.
+func TestPlacementHeadroomBeatsRoundRobin(t *testing.T) {
+	// Probe the per-session load first so the envelope can be sized to
+	// "three plain sessions per shard" regardless of machine. Scale 1
+	// gives paper-scale analytical costs; with a zero calibration the
+	// kernels still run cost-free, so the test stays fast.
+	base := testConfig()
+	base.Engine.Graph.Scale = 1
+	base.Engine.Graph.Calibration = graph.Calibration{NanosPerUnit: 1e12}
+	probe, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := probe.report(probe.cfg.Engine.Graph)
+	if err != nil {
+		probe.Close()
+		t.Fatal(err)
+	}
+	W, CP, B := rep.TotalWorkUS, rep.CritPathUS, rep.BaseUS
+	probe.Close()
+	if W <= 0 || CP <= 0 {
+		t.Fatalf("degenerate report: work %v cp %v", W, CP)
+	}
+
+	const margin = 1.25
+	cfg := testConfig()
+	cfg.Engine.Graph.Scale = 1
+	cfg.Engine.Graph.Calibration = graph.Calibration{NanosPerUnit: 1e12}
+	cfg.ProcsPerShard = 1
+	cfg.Admission = admission.Config{
+		Margin: margin,
+		// Exactly three plain sessions fit on one shard (m = 1):
+		// bound(n) = margin × (B + CP + (nW − CP)).
+		PeriodUS: margin*(B+CP+(3*W-CP)) * 1.0001,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Ballast on shard 0: 1.5 sessions' worth of permanent work, so
+	// shard 0 can absorb only one more session.
+	ballast := &admission.Report{TotalWorkUS: 1.5 * W, CritPathUS: 0, BaseUS: 0}
+	if err := f.shards[0].ctl.TryAdmit("ballast", ballast); err != nil {
+		t.Fatalf("ballast refused: %v", err)
+	}
+
+	var placements []int
+	admitted := 0
+	for i := 0; i < 4; i++ {
+		s, p, err := f.AddSession(engine.SessionSpec{})
+		if err != nil {
+			t.Fatalf("session %d refused: %v", i, err)
+		}
+		admitted++
+		placements = append(placements, p.Shard)
+		// Every decision must be justified: no fitting candidate may
+		// have strictly more headroom than the chosen shard.
+		for _, c := range p.Candidates {
+			if c.Fits && c.HeadroomUS > p.HeadroomUS+1e-6 {
+				t.Fatalf("session %d placed on shard %d (headroom %.0f) but shard %d offered %.0f",
+					i, p.Shard, p.HeadroomUS, c.Shard, c.HeadroomUS)
+			}
+		}
+		_ = s
+	}
+	if placements[0] != 1 {
+		t.Fatalf("first session went to ballasted shard 0 (placements %v)", placements)
+	}
+	if admitted != 4 {
+		t.Fatalf("headroom placement admitted %d/4", admitted)
+	}
+
+	// Round-robin on an identical fleet: alternate shards blindly.
+	rr := []*admission.Controller{
+		admission.NewController(1, cfg.Admission),
+		admission.NewController(1, cfg.Admission),
+	}
+	if err := rr[0].TryAdmit("ballast", ballast); err != nil {
+		t.Fatal(err)
+	}
+	rrAdmitted := 0
+	for i := 0; i < 4; i++ {
+		if rr[i%2].TryAdmit(f.Sessions()[i].ID(), rep) == nil {
+			rrAdmitted++
+		}
+	}
+	if rrAdmitted >= admitted {
+		t.Fatalf("round-robin admitted %d, headroom %d — headroom should win on asymmetric load",
+			rrAdmitted, admitted)
+	}
+}
+
+// TestDrainMigratesAllExactlyOnce drains a shard under live paced load
+// and checks the three invariants: every session leaves, every session
+// keeps advancing, and across the whole run every node executed exactly
+// once per cycle (the observer counts survive the migration).
+func TestDrainMigratesAllExactlyOnce(t *testing.T) {
+	cfg := testConfig()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const n = 6
+	for i := 0; i < n; i++ {
+		if _, _, err := f.AddSession(engine.SessionSpec{}); err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	pre := map[string]uint64{}
+	var onShard0 int
+	for _, s := range f.Sessions() {
+		pre[s.ID()] = s.Engine().Cycles()
+		if s.Shard() == 0 {
+			onShard0++
+		}
+	}
+	if onShard0 == 0 {
+		t.Fatal("placement put nothing on shard 0")
+	}
+
+	res, err := f.Drain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved != onShard0 || res.Failed != 0 {
+		t.Fatalf("drain moved %d (want %d), failed %d: %v", res.Moved, onShard0, res.Failed, res.Errors)
+	}
+	for _, s := range f.Sessions() {
+		if s.Shard() == 0 {
+			t.Fatalf("session %s still on drained shard", s.ID())
+		}
+		if snap := s.Engine().Snapshot(); snap.Shard != "1" {
+			t.Fatalf("session %s snapshot shard = %q after migration", s.ID(), snap.Shard)
+		}
+	}
+
+	// Placements refuse the draining shard; Undrain reopens it.
+	if s, p, err := f.AddSession(engine.SessionSpec{}); err != nil || p.Shard != 1 {
+		t.Fatalf("placement during drain: shard %d err %v", p.Shard, err)
+	} else if err := f.RemoveSession(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Undrain(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, p, err := f.AddSession(engine.SessionSpec{}); err != nil || p.Shard != 0 {
+		t.Fatalf("post-undrain placement: shard %d err %v (empty shard 0 has max headroom)", p.Shard, err)
+	}
+
+	// Everyone keeps cycling after the drain. Poll with a deadline: under
+	// -race on a small host, 8 paced sessions share one CPU and a fixed
+	// sleep is not enough for every driver to get a turn.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, s := range f.Sessions() {
+		for s.Engine().Cycles() <= pre[s.ID()] {
+			if time.Now().After(deadline) {
+				t.Fatalf("session %s stopped advancing across drain", s.ID())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Exactly-once: freeze the fleet, then compare per-node execution
+	// counts against each engine's cycle count.
+	engines := map[string]*engine.Engine{}
+	for _, s := range f.Sessions() {
+		engines[s.ID()] = s.Engine()
+	}
+	f.Close()
+	for id, e := range engines {
+		cycles := e.Cycles()
+		if cycles == 0 {
+			t.Fatalf("session %s ran no cycles", id)
+		}
+		col := e.Collector()
+		if col == nil {
+			t.Fatalf("session %s has no collector", id)
+		}
+		for _, ns := range col.NodeStats() {
+			if ns.Count != cycles {
+				t.Fatalf("session %s node %s executed %d times over %d cycles — lost or doubled work across migration",
+					id, ns.Name, ns.Count, cycles)
+			}
+		}
+	}
+}

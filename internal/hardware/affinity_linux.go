@@ -1,0 +1,33 @@
+//go:build linux
+
+package hardware
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// PinningSupported reports whether PinThread can bind threads here.
+func PinningSupported() bool { return true }
+
+// PinThread binds the calling OS thread to the given CPU set. The caller
+// must hold the thread (runtime.LockOSThread) or the binding applies to
+// whatever thread the goroutine happens to occupy. An empty set is a
+// no-op.
+func PinThread(cpus []int) error {
+	if len(cpus) == 0 {
+		return nil
+	}
+	mask, err := cpuMask(cpus)
+	if err != nil {
+		return err
+	}
+	// tid 0 = the calling thread.
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return fmt.Errorf("hardware: sched_setaffinity(%v): %v", cpus, errno)
+	}
+	return nil
+}

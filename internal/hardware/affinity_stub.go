@@ -1,0 +1,11 @@
+//go:build !linux
+
+package hardware
+
+// PinningSupported reports whether PinThread can bind threads here.
+func PinningSupported() bool { return false }
+
+// PinThread is a no-op outside Linux: the fleet still partitions
+// admission capacity per shard, it just cannot enforce the partition on
+// the cores.
+func PinThread(cpus []int) error { return nil }

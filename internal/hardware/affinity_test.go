@@ -1,0 +1,63 @@
+package hardware
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestSplitCPUsPartition(t *testing.T) {
+	for _, tc := range []struct{ total, n int }{
+		{8, 2}, {7, 2}, {4, 4}, {3, 4}, {1, 2}, {16, 3},
+	} {
+		sets := SplitCPUs(tc.total, tc.n)
+		if len(sets) != tc.n {
+			t.Fatalf("SplitCPUs(%d,%d): %d sets", tc.total, tc.n, len(sets))
+		}
+		seen := make(map[int]bool)
+		count := 0
+		for i, s := range sets {
+			for _, c := range s {
+				if c < 0 || c >= tc.total {
+					t.Fatalf("SplitCPUs(%d,%d): cpu %d out of range", tc.total, tc.n, c)
+				}
+				if seen[c] {
+					t.Fatalf("SplitCPUs(%d,%d): cpu %d in two sets", tc.total, tc.n, c)
+				}
+				seen[c] = true
+				count++
+			}
+			// Near-equal: no set larger than another by more than one.
+			if j := (i + 1) % tc.n; len(sets[i]) < len(sets[j])-1 || len(sets[i]) > len(sets[j])+1 {
+				t.Fatalf("SplitCPUs(%d,%d): uneven sets %v", tc.total, tc.n, sets)
+			}
+		}
+		if count != tc.total {
+			t.Fatalf("SplitCPUs(%d,%d): covered %d cpus", tc.total, tc.n, count)
+		}
+	}
+}
+
+func TestPinThread(t *testing.T) {
+	if !PinningSupported() {
+		if err := PinThread([]int{0}); err != nil {
+			t.Fatalf("stub PinThread: %v", err)
+		}
+		return
+	}
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	if err := PinThread([]int{0}); err != nil {
+		t.Fatalf("PinThread([0]): %v", err)
+	}
+	// Restore the full mask so the test thread is not left confined.
+	all := make([]int, runtime.NumCPU())
+	for i := range all {
+		all[i] = i
+	}
+	if err := PinThread(all); err != nil {
+		t.Fatalf("PinThread(all): %v", err)
+	}
+	if err := PinThread([]int{-1}); err == nil {
+		t.Fatal("PinThread([-1]) accepted an invalid cpu")
+	}
+}

@@ -157,6 +157,27 @@ func newFaultState(p *graph.Plan, workers int) *faultState {
 	return f
 }
 
+// cloneFor copies the fault-tolerance state for a session migrating to
+// a pool with the given worker count: the per-node arrays (quarantine
+// and shed bits, consecutive-fault counts, probe deadlines), the policy,
+// the handler and the cumulative counters all carry over; only the
+// per-worker inflight array is rebuilt at the new pool's width. The
+// source must be quiescent (no Execute in flight) — the array pointer is
+// shared, which is safe because the source is detached right after.
+func (f *faultState) cloneFor(workers int) *faultState {
+	nf := &faultState{
+		policy:  f.policy,
+		handler: f.handler,
+		running: make([]atomic.Int32, workers),
+	}
+	nf.arr.Store(f.arr.Load())
+	nf.recovered.Store(f.recovered.Load())
+	nf.quarantines.Store(f.quarantines.Load())
+	nf.probes.Store(f.probes.Load())
+	nf.restored.Store(f.restored.Load())
+	return nf
+}
+
 // adopt rebinds the fault arrays to a new plan epoch, carrying each
 // surviving node's quarantine bit, shed bit, consecutive-fault count and
 // probe deadline through the remap — a node quarantined before the edit

@@ -62,6 +62,9 @@ type Pool struct {
 	pushEpoch uint64
 	idlers    atomic.Int32
 
+	// onWorkerStart is PoolOptions.OnWorkerStart (nil = none).
+	onWorkerStart func(worker int)
+
 	closed atomic.Bool
 }
 
@@ -71,12 +74,26 @@ type poolSlot struct {
 	sess  atomic.Pointer[PoolSession]
 }
 
+// PoolOptions tune a Pool beyond its worker/capacity sizing.
+type PoolOptions struct {
+	// OnWorkerStart, when set, runs once on each helper worker's
+	// goroutine after it has locked its OS thread and before it serves
+	// any session. Shard layers use it to pin the worker's thread to the
+	// shard's CPU set; it must not block indefinitely.
+	OnWorkerStart func(worker int)
+}
+
 // NewPool starts a shared pool with the given number of persistent
 // helper workers and session capacity. Workers may be 0: sessions then
 // run entirely on their callers, still through the shared-pool claim
 // protocol. Total parallelism available to one session is workers+1 (the
 // pool plus its own caller).
 func NewPool(workers, capacity int) (*Pool, error) {
+	return NewPoolWith(workers, capacity, PoolOptions{})
+}
+
+// NewPoolWith is NewPool with explicit options.
+func NewPoolWith(workers, capacity int, opts PoolOptions) (*Pool, error) {
 	if workers < 0 {
 		return nil, fmt.Errorf("sched: pool workers = %d, want >= 0", workers)
 	}
@@ -84,8 +101,9 @@ func NewPool(workers, capacity int) (*Pool, error) {
 		return nil, fmt.Errorf("sched: pool capacity = %d, want >= 1", capacity)
 	}
 	p := &Pool{
-		workers: workers,
-		slots:   make([]poolSlot, capacity),
+		workers:       workers,
+		slots:         make([]poolSlot, capacity),
+		onWorkerStart: opts.OnWorkerStart,
 	}
 	p.cond = sync.NewCond(&p.mu)
 	for w := 0; w < workers; w++ {
@@ -136,6 +154,77 @@ func (p *Pool) Attach(plan *graph.Plan, o Options) (*PoolSession, error) {
 	return nil, fmt.Errorf("%w (%d sessions)", ErrPoolFull, len(p.slots))
 }
 
+// AttachMigrated moves a quiescent session from its current pool onto p
+// — the shard-drain primitive. The new session continues the old one
+// mid-stream: same plan and observer, same fault/quarantine/shed state
+// and cumulative fault counters, and the same cycle generation, so no
+// cycle is lost or doubled across the move. On success the old session
+// is detached (its slot frees for a new Attach); on failure it is left
+// attached and untouched.
+//
+// The caller must guarantee the old session has no Execute in flight —
+// fleet drivers migrate strictly between cycles. o.Observer, when set,
+// replaces the carried observer (the usual case keeps it nil: the
+// engine's collector travels with the engine, not the pool).
+func (p *Pool) AttachMigrated(old *PoolSession, o Options) (*PoolSession, error) {
+	if old == nil {
+		return nil, fmt.Errorf("sched: AttachMigrated of nil session")
+	}
+	if old.closed.Load() {
+		return nil, fmt.Errorf("sched: AttachMigrated of closed session")
+	}
+	ot := old.topo.Load()
+	obs := ot.obs
+	if o.Observer != nil {
+		obs = o.Observer
+	}
+	p.mu.Lock()
+	if p.closed.Load() {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	var ns *PoolSession
+	for i := range p.slots {
+		if p.slots[i].state.Load() != slotEmpty {
+			continue
+		}
+		ns = &PoolSession{
+			faultState: old.faultState.cloneFor(p.workers + 1),
+			pool:       p,
+			slot:       int32(i),
+		}
+		t := &poolTopo{
+			plan:    ot.plan,
+			obs:     obs,
+			pending: make([]atomic.Int32, ot.plan.Len()),
+			claimed: make([]atomic.Uint64, ot.plan.Len()),
+		}
+		// Continue the old session's cycle generation: claim stamps start
+		// at the carried generation so the first post-migration cycle
+		// (gen+1) claims every node exactly once, and observers keep a
+		// monotonic cycle coordinate.
+		gen := ot.gen.Load()
+		t.gen.Store(gen)
+		for j := range t.claimed {
+			t.claimed[j].Store(gen)
+		}
+		ns.topo.Store(t)
+		// A swap staged but not yet adopted travels with the session.
+		if st := old.staged.Load(); st != nil {
+			ns.staged.Store(st)
+		}
+		p.slots[i].sess.Store(ns)
+		p.slots[i].state.Store(slotIdle)
+		break
+	}
+	p.mu.Unlock()
+	if ns == nil {
+		return nil, fmt.Errorf("%w (%d sessions)", ErrPoolFull, len(p.slots))
+	}
+	old.Close()
+	return ns, nil
+}
+
 // Close shuts the pool down. It is idempotent. All sessions must be
 // closed (or at least quiescent) first; Execute on any attached session
 // panics afterwards.
@@ -152,6 +241,9 @@ func (p *Pool) Close() {
 func (p *Pool) worker(w int32) {
 	runtime.LockOSThread()
 	defer runtime.UnlockOSThread()
+	if p.onWorkerStart != nil {
+		p.onWorkerStart(int(w))
+	}
 	n := len(p.slots)
 	next := int(w) % n // stagger scan starts across workers
 	failedRounds := 0

@@ -13,6 +13,11 @@ type Config struct {
 	// session the series belongs to (default "0").
 	Strategy string
 	Session  string
+	// Shard labels the series with the shard currently hosting the
+	// session (fleet mode). Empty omits the label entirely, keeping
+	// single-engine expositions unchanged. Migration updates it at run
+	// time via SetShard.
+	Shard string
 	// SLO sets the deadline-miss budget (zero value = 5 per 10,000).
 	SLO SLOConfig
 }
@@ -36,6 +41,10 @@ func (c Config) withDefaults() Config {
 // and lock-free.
 type Collector struct {
 	cfg Config
+
+	// shard is the live shard label (see Config.Shard); atomic because
+	// migration rewrites it while scrapes read it.
+	shard atomic.Pointer[string]
 
 	// APC and Graph are the cycle-latency histograms (whole APC and the
 	// graph component).
@@ -68,7 +77,9 @@ type Collector struct {
 // NewCollector builds a collector for the given labels and SLO budget.
 func NewCollector(cfg Config) *Collector {
 	cfg = cfg.withDefaults()
-	return &Collector{cfg: cfg, slo: newSLOWindow(cfg.SLO)}
+	c := &Collector{cfg: cfg, slo: newSLOWindow(cfg.SLO)}
+	c.shard.Store(&cfg.Shard)
+	return c
 }
 
 // Strategy returns the collector's strategy label.
@@ -76,6 +87,13 @@ func (c *Collector) Strategy() string { return c.cfg.Strategy }
 
 // Session returns the collector's session label.
 func (c *Collector) Session() string { return c.cfg.Session }
+
+// Shard returns the live shard label ("" = not in a fleet).
+func (c *Collector) Shard() string { return *c.shard.Load() }
+
+// SetShard rewrites the shard label — called once per migration, never
+// on the audio path.
+func (c *Collector) SetShard(s string) { c.shard.Store(&s) }
 
 // RecordCycle records one completed APC: histogram samples, the
 // per-second ring slot, and the SLO window. unixSec is the wall-clock

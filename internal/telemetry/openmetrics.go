@@ -142,26 +142,33 @@ func writeSample(w io.Writer, name string, c *Collector, extraLabel string, v fl
 	if extraLabel != "" {
 		extraLabel = "," + extraLabel
 	}
-	fmt.Fprintf(w, "%s{strategy=%q,session=%q%s} %s\n",
-		name, c.cfg.Strategy, c.cfg.Session, extraLabel, formatValue(v))
+	fmt.Fprintf(w, "%s{%s%s} %s\n", name, c.labels(), extraLabel, formatValue(v))
+}
+
+// labels renders the collector's identifying label set. The shard label
+// only appears in fleet mode, so single-engine expositions are
+// byte-identical to earlier versions.
+func (c *Collector) labels() string {
+	if s := c.Shard(); s != "" {
+		return fmt.Sprintf("strategy=%q,session=%q,shard=%q", c.cfg.Strategy, c.cfg.Session, s)
+	}
+	return fmt.Sprintf("strategy=%q,session=%q", c.cfg.Strategy, c.cfg.Session)
 }
 
 func writeHistogramFamily(w io.Writer, name, help string, cols []*Collector, h func(*Collector) *Histogram) {
 	writeHeader(w, name, help, "histogram")
 	for _, c := range cols {
 		hist := h(c)
+		labels := c.labels()
 		for _, b := range hist.Buckets() {
 			le := "+Inf"
 			if !math.IsInf(b.UpperSeconds, 1) {
 				le = formatValue(b.UpperSeconds)
 			}
-			fmt.Fprintf(w, "%s_bucket{strategy=%q,session=%q,le=%q} %d\n",
-				name, c.cfg.Strategy, c.cfg.Session, le, b.CumulativeCount)
+			fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, le, b.CumulativeCount)
 		}
-		fmt.Fprintf(w, "%s_sum{strategy=%q,session=%q} %s\n",
-			name, c.cfg.Strategy, c.cfg.Session, formatValue(hist.SumSeconds()))
-		fmt.Fprintf(w, "%s_count{strategy=%q,session=%q} %d\n",
-			name, c.cfg.Strategy, c.cfg.Session, hist.Count())
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, formatValue(hist.SumSeconds()))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, hist.Count())
 	}
 }
 
@@ -186,11 +193,12 @@ func (r *Registry) Handler() http.Handler {
 		type entry struct {
 			Strategy string    `json:"strategy"`
 			Session  string    `json:"session"`
+			Shard    string    `json:"shard,omitempty"`
 			SLO      SLOStatus `json:"slo"`
 		}
 		var out []entry
 		for _, c := range r.Collectors() {
-			out = append(out, entry{c.cfg.Strategy, c.cfg.Session, c.SLO()})
+			out = append(out, entry{c.cfg.Strategy, c.cfg.Session, c.Shard(), c.SLO()})
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -1,0 +1,100 @@
+#!/usr/bin/env sh
+# djserve_smoke.sh — CI gate for the fleet control plane.
+#
+# Boots djserve with two shards and drives the whole /v1 lifecycle
+# over HTTP: create (placement must be justified with candidate
+# headrooms), retune, live-edit, a steady-state SLO window, then
+# drain + undrain (the session must land on the other shard), a
+# /metrics scrape (session/shard labels must survive the migration),
+# and destroy. Exits non-zero if any step fails or if a shard breaches
+# the 5-per-10k SLO during the observation window.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+addr=127.0.0.1:9147
+bin=$(mktemp)
+body=$(mktemp)
+s2=$(mktemp)
+trap 'kill "$pid" 2>/dev/null || true; rm -f "$bin" "$body" "$s2"' EXIT
+
+go build -o "$bin" ./cmd/djserve
+"$bin" -addr "$addr" -shards 2 -scale 0.05 -trackbars 4 -quiet &
+pid=$!
+
+ok=
+for _ in $(seq 1 40); do
+	if curl -fsS "http://$addr/v1/shards" -o "$body" 2>/dev/null; then
+		ok=1
+		break
+	fi
+	sleep 0.25
+done
+if [ -z "$ok" ]; then
+	echo "djserve_smoke: control plane never came up on $addr" >&2
+	exit 2
+fi
+jq -e '.shards | length == 2' "$body" >/dev/null
+jq -e '.shards | all(.slo.target_per_10k == 5)' "$body" >/dev/null
+
+# Create: 201, admitted, and the placement lists both candidates.
+curl -fsS -X POST "http://$addr/v1/sessions" -d '{"id":"smoke-a"}' -o "$body"
+jq -e '.session.verdict == "admit"' "$body" >/dev/null
+jq -e '.placement.candidates | length == 2' "$body" >/dev/null
+jq -e '.placement.headroom_us > 0' "$body" >/dev/null
+src=$(jq -r '.placement.shard' "$body")
+curl -fsS -X POST "http://$addr/v1/sessions" -d '{"id":"smoke-b"}' >/dev/null
+
+# Retune and live-edit the running session.
+curl -fsS -X POST "http://$addr/v1/sessions/smoke-a/retune" \
+	-d '{"load_factor":1.25}' | jq -e '.ok and .load_factor == 1.25' >/dev/null
+curl -fsS -X POST "http://$addr/v1/sessions/smoke-a/edits" \
+	-d '{"patch":"insert-delay:B:2"}' | jq -e '.ok and .staged' >/dev/null
+
+# SLO gate: with one session per shard (well below the knee), the
+# steady-state misses per 10k over a quiet window must stay within the
+# 5-per-10k objective on every shard. The window is a delta between two
+# scrapes so the compile-cycle cold-start miss is excluded — the same
+# way loadgen measures each load level. A ~1000-cycle window cannot
+# statistically resolve a 5-per-10k rate (one OS preemption is already
+# 10/10k), so the gate is budget plus one preempted cycle — the same
+# noise allowance R7/`djanalyze -admit` apply; genuine overload blows
+# misses an order of magnitude past it.
+sleep 1
+curl -fsS "http://$addr/v1/shards" -o "$body"
+sleep 3
+curl -fsS "http://$addr/v1/shards" -o "$s2"
+if ! jq -s -e '
+		[ .[0].shards[] as $a | .[1].shards[] | select(.id == $a.id)
+		  | { dc: (.slo.cycles - $a.slo.cycles), dm: (.slo.misses - $a.slo.misses) } ]
+		| all(.dc == 0 or .dm <= .dc * 5 / 10000 + 1)' "$body" "$s2" >/dev/null; then
+	echo "djserve_smoke: SLO breached in steady state:" >&2
+	jq '.shards[].slo' "$s2" >&2
+	exit 1
+fi
+
+# Drain the shard hosting smoke-a: it must migrate, nothing may fail.
+curl -fsS -X POST "http://$addr/v1/shards/$src/drain" -o "$body"
+jq -e '.failed == 0 and .moved >= 1' "$body" >/dev/null
+curl -fsS "http://$addr/v1/sessions/smoke-a" -o "$body"
+jq -e --argjson src "$src" '.shard != $src' "$body" >/dev/null
+dst=$(jq -r '.shard' "$body")
+curl -fsS "http://$addr/v1/shards/$src" -o "$body"
+jq -e '.draining == true and .sessions == 0' "$body" >/dev/null
+curl -fsS -X DELETE "http://$addr/v1/shards/$src/drain" -o /dev/null
+
+# The fleet exposition carries session/shard labels that followed the
+# migrated session to its new shard.
+curl -fsS "http://$addr/metrics" -o "$body"
+grep -q '# EOF' "$body"
+grep -q "session=\"smoke-a\",shard=\"$dst\"" "$body"
+
+# Destroy and verify.
+curl -fsS -X DELETE "http://$addr/v1/sessions/smoke-a" -o /dev/null
+curl -fsS -X DELETE "http://$addr/v1/sessions/smoke-b" -o /dev/null
+if curl -fsS "http://$addr/v1/sessions/smoke-a" -o /dev/null 2>/dev/null; then
+	echo "djserve_smoke: deleted session still served" >&2
+	exit 1
+fi
+
+echo "djserve_smoke: OK (drained shard $src -> $dst, SLO held on both shards)"
